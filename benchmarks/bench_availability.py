@@ -1,0 +1,65 @@
+"""E4 — availability under partitions (pessimistic vs optimistic vs strong)."""
+
+from repro.bench import run_availability, run_availability_ablation
+
+
+def test_e4_availability(benchmark):
+    result = benchmark.pedantic(run_availability, rounds=1, iterations=1)
+    print()
+    print(result)
+    rows = result.rows
+
+    def row(rate, impl_prefix):
+        return next(r for r in rows
+                    if r["isolate_rate"] == rate and r["impl"].startswith(impl_prefix))
+
+    rates = sorted({r["isolate_rate"] for r in rows})
+
+    for rate in rates:
+        strong = row(rate, "strong")
+        pess = row(rate, "fig5")
+        opt = row(rate, "fig6")
+        # the ordering the paper's design space predicts
+        assert opt["success_rate"] >= pess["success_rate"] >= strong["success_rate"]
+        assert opt["mean_coverage"] >= pess["mean_coverage"] >= strong["mean_coverage"]
+        # optimism never fails in this workload (failures are transient)
+        assert opt["success_rate"] == 1.0
+
+    # in the failure-free regime everyone succeeds
+    assert row(0.0, "strong")["success_rate"] == 1.0
+
+    # at the highest failure rate the gap is wide: strong loses most
+    # runs while the optimistic iterator still answers in full
+    worst = max(rates)
+    assert row(worst, "strong")["success_rate"] <= 0.5
+    assert row(worst, "fig6")["mean_coverage"] == 1.0
+    # pessimistic keeps partial coverage high even when it fails
+    assert row(worst, "fig5")["mean_coverage"] > row(worst, "strong")["mean_coverage"]
+    # the price of optimism: waiting (higher latency at high failure rates)
+    assert row(worst, "fig6")["mean_latency_ok"] > row(0.0, "fig6")["mean_latency_ok"]
+
+
+def test_e4a_ablations(benchmark):
+    result = benchmark.pedantic(run_availability_ablation, rounds=1, iterations=1)
+    print()
+    print(result)
+    rows = {r["variant"]: r for r in result.rows}
+    primary = rows["fig5 primary-read (fail-fast)"]
+    quorum = rows["fig5 quorum-read (fail-fast)"]
+    slow5 = rows["fig5 primary-read (timeout-only)"]
+    opt_fast = rows["fig6 optimistic (fail-fast)"]
+    opt_slow = rows["fig6 optimistic (timeout-only)"]
+
+    # quorum reads never hurt availability and cost extra read latency
+    assert quorum["success_rate"] >= primary["success_rate"]
+    assert quorum["mean_latency_ok"] > primary["mean_latency_ok"]
+
+    # timeout-only discovery is slower per run...
+    assert slow5["mean_latency_ok"] > primary["mean_latency_ok"]
+    assert opt_slow["mean_latency_ok"] > opt_fast["mean_latency_ok"]
+    # ...and never *hurts* success (slow pessimism waits failures out)
+    assert slow5["success_rate"] >= primary["success_rate"]
+
+    # optimism is unaffected in outcome terms: it always completes
+    assert opt_fast["success_rate"] == 1.0
+    assert opt_slow["success_rate"] == 1.0

@@ -1,0 +1,31 @@
+"""E12 — scale sweep (simulated cost + message accounting)."""
+
+from repro.bench import run_scale
+
+
+def test_e12_scale(benchmark):
+    result = benchmark.pedantic(run_scale, rounds=1, iterations=1)
+    print()
+    print(result)
+    rows = result.rows
+
+    def row(members, impl_prefix):
+        return next(r for r in rows
+                    if r["members"] == members and r["impl"].startswith(impl_prefix))
+
+    sizes = sorted({r["members"] for r in rows})
+
+    for impl in ["strong", "fig4", "fig5", "fig6"]:
+        overheads = [row(n, impl)["msgs_per_member"] for n in sizes]
+        # O(1) messages per member: overhead flat (within constants)
+        assert max(overheads) < 2 * min(overheads), impl
+        # simulated time scales ~linearly with members
+        times = [row(n, impl)["sim_time"] for n in sizes]
+        assert times == sorted(times)
+        assert times[-1] > 10 * times[0]
+
+    for n in sizes:
+        # pre-state iterators (fig5/fig6) pay an extra membership read
+        # per invocation: ~2 more messages per member than first-state
+        assert row(n, "fig5")["msgs_per_member"] > row(n, "fig4")["msgs_per_member"] + 1
+        assert row(n, "fig6")["msgs_per_member"] > row(n, "fig4")["msgs_per_member"] + 1

@@ -1,0 +1,79 @@
+"""Harness throughput: how fast the simulator itself runs.
+
+Unlike E1–E10 (whose numbers are *simulated* seconds), these benchmarks
+measure real wall-clock performance of the substrate — the figure of
+merit for how large an experiment the harness can carry.  Useful as a
+regression guard on kernel/transport overhead.
+"""
+
+import pytest
+
+from repro.net import FixedLatency, Network, full_mesh
+from repro.sim import Kernel, Sleep
+from repro.store import Repository, World
+from repro.weaksets import DynamicSet
+
+
+def test_kernel_event_throughput(benchmark):
+    """Pure kernel: schedule and run many sleep/wake events."""
+
+    def run():
+        kernel = Kernel()
+
+        def sleeper(n):
+            for _ in range(n):
+                yield Sleep(0.001)
+
+        for _ in range(20):
+            kernel.spawn(sleeper(250))
+        kernel.run()
+        return kernel.now
+
+    result = benchmark(run)
+    assert result == pytest.approx(0.25)
+
+
+def test_rpc_round_trip_throughput(benchmark):
+    """Transport + dispatch: many sequential RPCs."""
+
+    class Echo:
+        def echo(self, x):
+            return x
+
+    def run():
+        kernel = Kernel()
+        net = Network(kernel, full_mesh(["a", "b"], FixedLatency(0.001)))
+        net.register_service("b", "echo", Echo())
+
+        def caller():
+            for i in range(500):
+                yield from net.call("a", "b", "echo", "echo", i)
+
+        kernel.run_process(caller())
+        return net.transport.messages_sent
+
+    sent = benchmark(run)
+    assert sent == 1000  # 500 requests + 500 replies
+
+
+def test_full_stack_iteration_throughput(benchmark):
+    """World + weak set + recorder + checker-grade tracing, end to end."""
+
+    def run():
+        kernel = Kernel(seed=1)
+        nodes = ["client"] + [f"s{i}" for i in range(8)]
+        net = Network(kernel, full_mesh(nodes, FixedLatency(0.005)))
+        world = World(net)
+        world.create_collection("c", primary="s0")
+        for i in range(100):
+            world.seed_member("c", f"m{i:03d}", value=i, home=f"s{i % 8}")
+        ws = DynamicSet(world, "client", "c")
+
+        def proc():
+            return (yield from ws.elements().drain())
+
+        result = kernel.run_process(proc())
+        return len(result.elements)
+
+    count = benchmark(run)
+    assert count == 100

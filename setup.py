@@ -1,0 +1,21 @@
+"""Setup shim for fully-offline environments.
+
+``pip install -e .`` needs the ``wheel`` package (PEP 660 editable
+wheels); on an offline machine without it, ``python setup.py develop``
+installs the same editable package with no build-time dependencies.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'Specifying Weak Sets' (Wing & Steere, ICDCS 1995): "
+        "executable Larch-style specifications, four weak-set semantics, a "
+        "simulated wide-area substrate, and the promised evaluation."
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

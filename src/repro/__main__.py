@@ -1,0 +1,97 @@
+"""Package CLI: a tiny front door.
+
+Usage::
+
+    python -m repro            # overview: the five figures + pointers
+    python -m repro --specs    # the figure specifications, paper-style
+    python -m repro --demo     # run the quickstart scenario inline
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import __version__
+
+
+def _overview() -> str:
+    from .spec import ALL_FIGURES
+
+    lines = [
+        f"repro {__version__} — 'Specifying Weak Sets' (Wing & Steere, ICDCS 1995)",
+        "",
+        "the design space:",
+    ]
+    for spec in ALL_FIGURES:
+        failure = "signals failure" if spec.allows_failure else "never fails"
+        lines.append(f"  {spec.spec_id:<5} {spec.paper_figure:<9} "
+                     f"{spec.title}  [{spec.constraint.formula}; {failure}]")
+    lines += [
+        "",
+        "try:",
+        "  python -m repro --specs          the figures, paper-style",
+        "  python -m repro --demo           a simulated query, checked",
+        "  python -m repro.bench            the evaluation (E1–E15)",
+        "  python examples/quickstart.py    the guided tour",
+    ]
+    return "\n".join(lines)
+
+
+def _demo() -> str:
+    from . import (
+        DynamicSet,
+        FixedLatency,
+        Kernel,
+        Network,
+        World,
+        check_conformance,
+        full_mesh,
+        spec_by_id,
+    )
+    from .sim import Sleep
+
+    kernel = Kernel(seed=7)
+    net = Network(kernel, full_mesh(["client", "s0", "s1"], FixedLatency(0.01)))
+    world = World(net)
+    world.create_collection("demo", primary="s0")
+    for i in range(4):
+        world.seed_member("demo", f"item-{i}", value=i, home=f"s{i % 2}")
+    ws = DynamicSet(world, "client", "demo")
+    iterator = ws.elements()
+
+    def blip():
+        yield Sleep(0.03)
+        net.isolate("s1")
+        yield Sleep(1.0)
+        net.rejoin("s1")
+
+    def query():
+        return (yield from iterator.drain())
+
+    kernel.spawn(blip(), daemon=True)
+    result = kernel.run_process(query())
+    report = check_conformance(ws.last_trace, spec_by_id("fig6"), world)
+    lines = [
+        f"ran a Figure 6 query over 4 scattered items with a mid-run partition:",
+        f"  yielded {len(result.elements)} items in {result.total_time:.2f}s "
+        f"(first after {result.time_to_first:.3f}s), outcome: {result.outcome}",
+        f"  conformance vs Figure 6: "
+        f"{'CONFORMS' if report.conformant else report.counterexample()}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    if "--specs" in argv:
+        from .spec import render_all
+        print(render_all())
+        return 0
+    if "--demo" in argv:
+        print(_demo())
+        return 0
+    print(_overview())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,50 @@
+"""Run every experiment and print its table: ``python -m repro.bench``.
+
+Usage::
+
+    python -m repro.bench                # all experiments, ASCII tables
+    python -m repro.bench E1 E4          # a subset
+    python -m repro.bench --markdown E8  # markdown tables (EXPERIMENTS.md)
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import ALL_EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    markdown = False
+    ids: list[str] = []
+    for arg in argv:
+        if arg in ("--markdown", "-m"):
+            markdown = True
+        elif arg in ("--help", "-h"):
+            print(__doc__)
+            print(f"experiments: {', '.join(ALL_EXPERIMENTS)}")
+            return 0
+        else:
+            ids.append(arg.upper())
+    wanted = ids or list(ALL_EXPERIMENTS)
+    unknown = [w for w in wanted if w not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {unknown}; "
+              f"known: {list(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for eid in wanted:
+        started = time.perf_counter()
+        result = ALL_EXPERIMENTS[eid]()
+        elapsed = time.perf_counter() - started
+        if markdown:
+            print(result.to_markdown())
+        else:
+            print(result)
+            print(f"  ({elapsed:.2f}s wall clock)")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,125 @@
+"""E1 — the conformance matrix (Figures 1, 3, 4, 5, 6).
+
+For each implementation, run it in its intended environment — with the
+mutations and transient failures that environment permits — and check
+the recorded trace against *every* figure specification.  The paper's
+design-space ordering predicts the matrix's shape; the checker fills in
+the cells mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..sim.events import Sleep
+from ..spec import ALL_FIGURES, RELAXED_VARIANTS, check_conformance
+from ..weaksets import (
+    DynamicSet,
+    Figure1Set,
+    GrowOnlySet,
+    ImmutableSet,
+    PerRunGrowOnlySet,
+    PerRunImmutableSet,
+    SnapshotSet,
+    install_lock_service,
+)
+from ..wan.workload import ScenarioSpec, build_scenario
+from .report import ExperimentResult
+
+__all__ = ["IMPL_CASES", "MATRIX_SPECS", "run_conformance_matrix"]
+
+MATRIX_SPECS = ALL_FIGURES + RELAXED_VARIANTS
+
+
+@dataclass(frozen=True)
+class ImplCase:
+    """One implementation plus the environment it is designed for."""
+
+    impl_id: str
+    cls: type
+    policy: str
+    mutate: str          # "none" | "grow" | "churn" | "between-runs"
+    blip: bool           # inject a transient partition mid-run
+
+
+IMPL_CASES: tuple[ImplCase, ...] = (
+    ImplCase("figure1", Figure1Set, "immutable", "none", blip=False),
+    ImplCase("immutable", ImmutableSet, "immutable", "none", blip=True),
+    ImplCase("snapshot", SnapshotSet, "any", "churn", blip=True),
+    ImplCase("grow-only", GrowOnlySet, "grow-only", "grow", blip=True),
+    ImplCase("per-run-immutable", PerRunImmutableSet, "any",
+             "between-runs", blip=False),
+    ImplCase("per-run-grow-only", PerRunGrowOnlySet, "grow-during-run",
+             "churn", blip=True),
+    ImplCase("dynamic", DynamicSet, "any", "churn", blip=True),
+)
+
+
+def _run_case(case: ImplCase, seed: int):
+    spec = ScenarioSpec(n_clusters=3, cluster_size=2, n_members=10,
+                        policy=case.policy, coll_id="coll")
+    scenario = build_scenario(spec, seed=seed)
+    if case.policy == "immutable":
+        scenario.world.seal("coll")
+    install_lock_service(scenario.world, spec.primary)
+    ws = case.cls(scenario.world, scenario.client, "coll")
+    if case.mutate == "between-runs":
+        return _run_between_runs_case(scenario, ws)
+    iterator = ws.elements()
+
+    def proc():
+        first = yield from iterator.invoke()
+        if case.mutate in ("grow", "churn"):
+            yield from ws.repo.add("coll", "zz-mid-add", value="A")
+        if case.mutate == "churn":
+            victim = next(
+                (e for e in scenario.elements if e != first.element), None)
+            if victim is not None:
+                yield from ws.repo.remove("coll", victim)
+        if case.blip:
+            scenario.net.isolate("n1.1")
+            yield Sleep(0.3)
+            scenario.net.rejoin("n1.1")
+        yield from iterator.drain()
+
+    scenario.kernel.run_process(proc())
+    return ws.last_trace, scenario.world
+
+
+def _run_between_runs_case(scenario, ws):
+    """Two runs with a mutation in between (§3.1's intended usage)."""
+
+    def proc():
+        first = yield from ws.elements().drain()
+        yield from ws.repo.add("coll", "between-runs", value="B")
+        victim = first.elements[0]
+        yield from ws.repo.remove("coll", victim)
+        yield from ws.elements().drain()
+
+    scenario.kernel.run_process(proc())
+    # judge the second run: its window saw only the between-runs world
+    return ws.traces[-1], scenario.world
+
+
+def run_conformance_matrix(seeds: Iterable[int] = range(5)) -> ExperimentResult:
+    """The E1 matrix: conforming runs per (implementation, figure)."""
+    seeds = list(seeds)
+    result = ExperimentResult(
+        "E1", "Conformance matrix (conforming runs / total runs)",
+        columns=["impl"] + [s.spec_id for s in MATRIX_SPECS],
+        notes="each impl driven in its intended environment; "
+              "checker = ensures + constraint over the run's window",
+    )
+    for case in IMPL_CASES:
+        counts = {s.spec_id: 0 for s in MATRIX_SPECS}
+        for seed in seeds:
+            trace, world = _run_case(case, seed)
+            for figure in MATRIX_SPECS:
+                report = check_conformance(trace, figure, world)
+                if report.conformant:
+                    counts[figure.spec_id] += 1
+        row = {"impl": case.impl_id}
+        row.update({sid: f"{n}/{len(seeds)}" for sid, n in counts.items()})
+        result.add(**row)
+    return result

@@ -1,0 +1,93 @@
+"""E8 — the Garcia-Molina/Wiederhold taxonomy, and E9 — reachability.
+
+E8 re-derives §4's classification of the four figures from spec
+structure and prints the table the paper gives in prose.
+
+E9 replays Figure 2's example exactly, then scales the ``reachable``
+model over random partition patterns: the reachable fraction tracks the
+observer's partition size, and existence never changes — accessibility
+does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..net.fabric import Network
+from ..net.link import FixedLatency
+from ..net.topology import full_mesh
+from ..sim.kernel import Kernel
+from ..store.reachability import figure2_world
+from ..store.world import World
+from ..spec.taxonomy import taxonomy_table
+from .report import ExperimentResult
+
+__all__ = ["run_taxonomy", "run_reachability", "PAPER_TAXONOMY"]
+
+# What §4 says, verbatim targets for the derived table.
+PAPER_TAXONOMY = {
+    "fig3": ("strong (serializable)", "first-vintage"),
+    "fig4": ("weak", "first-vintage"),
+    "fig5": ("none", "first-bound"),
+    "fig6": ("none", "first-bound"),
+}
+
+
+def run_taxonomy() -> ExperimentResult:
+    """E8: derived classification vs the paper's prose."""
+    result = ExperimentResult(
+        "E8", "Garcia-Molina & Wiederhold classification (§4)",
+        columns=["spec", "figure", "consistency", "currency", "matches_paper"],
+    )
+    for spec_id, figure, classification in taxonomy_table():
+        expected = PAPER_TAXONOMY.get(spec_id)
+        matches = (expected is None or
+                   (classification.consistency, classification.currency) == expected)
+        result.add(
+            spec=spec_id,
+            figure=figure,
+            consistency=classification.consistency,
+            currency=classification.currency,
+            matches_paper="n/a (fig1 not classified)" if expected is None else matches,
+        )
+    return result
+
+
+def run_reachability(sizes: Iterable[int] = (8, 16, 32),
+                     seed: int = 0) -> ExperimentResult:
+    """E9: Figure 2 replayed, then random partitions at scale."""
+    result = ExperimentResult(
+        "E9", "Reachability: existence vs accessibility (Figure 2)",
+        columns=["scenario", "members", "reachable", "exists"],
+        notes="partitioning changes reachable(a), never a's value",
+    )
+    # -- the exact Figure 2 example -----------------------------------------
+    fig = figure2_world(seed=seed)
+    result.add(scenario="fig2 sigma (no partition)", members=3,
+               reachable=len(fig.reachable_from_n()), exists=3)
+    fig.partition_n_from_c()
+    result.add(scenario="fig2 sigma' (N | C split)", members=3,
+               reachable=len(fig.reachable_from_n()), exists=3)
+    fig.heal()
+
+    # -- random partitions at scale ---------------------------------------
+    for n in sizes:
+        kernel = Kernel(seed=seed)
+        nodes = [f"n{i}" for i in range(n)]
+        net = Network(kernel, full_mesh(nodes, FixedLatency(0.01)))
+        world = World(net)
+        world.create_collection("c", primary="n0")
+        for i in range(n):
+            world.seed_member("c", f"m{i}", home=f"n{i}")
+        stream = kernel.stream("part")
+        cut = stream.sample(nodes[1:], k=n // 4)       # keep the observer in
+        net.split(cut)
+        reachable = world.reachable_members("c", "n0")
+        result.add(
+            scenario=f"random split ({n // 4} nodes cut)",
+            members=n,
+            reachable=len(reachable),
+            exists=len(world.true_members("c")),
+        )
+        net.heal()
+    return result

@@ -1,0 +1,60 @@
+"""Summary statistics for experiment results."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["Summary", "summarize", "rate"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    median: float
+    p95: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (f"n={self.n} mean={self.mean:.4f} median={self.median:.4f} "
+                f"p95={self.p95:.4f} min={self.minimum:.4f} max={self.maximum:.4f}")
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile on a pre-sorted sample."""
+    if not ordered:
+        raise ValueError("empty sample")
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    frac = pos - lo
+    value = ordered[lo] * (1 - frac) + ordered[hi] * frac
+    # interpolation can drift past the endpoints by an ulp; clamp
+    return min(max(value, ordered[lo]), ordered[hi])
+
+
+def summarize(values: Iterable[float]) -> Optional[Summary]:
+    """Summary of a sample; None for an empty one."""
+    ordered = sorted(values)
+    if not ordered:
+        return None
+    return Summary(
+        n=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        median=_percentile(ordered, 0.5),
+        p95=_percentile(ordered, 0.95),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+    )
+
+
+def rate(numerator: int, denominator: int) -> float:
+    """A safe ratio (0.0 when the denominator is zero)."""
+    return numerator / denominator if denominator else 0.0

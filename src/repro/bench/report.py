@@ -1,0 +1,100 @@
+"""Plain-text tables for experiment output.
+
+Every experiment prints through these helpers so EXPERIMENTS.md and the
+benchmark logs show identical rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_kv", "ExperimentResult"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, Any]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: str = "") -> str:
+    """Render rows (dicts) as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[_fmt(row.get(c)) for c in cols] for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in cells)) for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(cols))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(cols))))
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Mapping[str, Any], title: str = "") -> str:
+    width = max(len(k) for k in pairs) if pairs else 0
+    lines = [title] if title else []
+    for k, v in pairs.items():
+        lines.append(f"  {k.ljust(width)} : {_fmt(v)}")
+    return "\n".join(lines)
+
+
+def format_markdown(rows: Sequence[Mapping[str, Any]],
+                    columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "*(empty)*"
+    cols = list(columns) if columns else list(rows[0].keys())
+    lines = ["| " + " | ".join(cols) + " |",
+             "|" + "|".join("---" for _ in cols) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(row.get(c)) for c in cols) + " |")
+    return "\n".join(lines)
+
+
+class ExperimentResult:
+    """Rows + metadata for one experiment, printable as the paper table."""
+
+    def __init__(self, experiment_id: str, title: str,
+                 rows: Optional[list[dict]] = None,
+                 columns: Optional[Sequence[str]] = None,
+                 notes: str = ""):
+        self.experiment_id = experiment_id
+        self.title = title
+        self.rows: list[dict] = rows if rows is not None else []
+        self.columns = columns
+        self.notes = notes
+
+    def add(self, **fields: Any) -> None:
+        self.rows.append(fields)
+
+    def to_markdown(self) -> str:
+        """The table as markdown, for pasting into EXPERIMENTS.md."""
+        out = f"### {self.experiment_id} — {self.title}\n\n"
+        out += format_markdown(self.rows, self.columns)
+        if self.notes:
+            out += f"\n\n*{self.notes}*"
+        return out
+
+    def __str__(self) -> str:
+        out = format_table(self.rows, self.columns,
+                           title=f"[{self.experiment_id}] {self.title}")
+        if self.notes:
+            out += f"\n  note: {self.notes}"
+        return out

@@ -1,0 +1,73 @@
+"""Single-file operations: ``stat`` and ``read_file``.
+
+The non-set-shaped half of the file-system API — resolve one path and
+fetch its entry's metadata or contents over RPC, with the same failure
+semantics as everything else (an unreachable home raises the paper's
+``failure``; a deleted entry raises ``NoSuchPathError``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from ..errors import NoSuchObjectError, NoSuchPathError
+from ..net.address import NodeId
+from ..store.repository import Repository
+from .filesystem import FileMeta, FileSystem
+from . import namespace as ns
+
+__all__ = ["StatResult", "stat", "read_file"]
+
+
+@dataclass(frozen=True)
+class StatResult:
+    """What ``stat`` reports about one path."""
+
+    path: str
+    kind: str            # "file" | "dir"
+    size: int
+    home: NodeId
+
+    @property
+    def is_dir(self) -> bool:
+        return self.kind == "dir"
+
+
+def stat(fs: FileSystem, client: NodeId, path: str) -> Generator[Any, Any, StatResult]:
+    """Fetch a path's metadata from its home node.
+
+    Note the weak-FS subtlety: resolution uses the client-known entry
+    index (paths are location hints, like NFS file handles), but the
+    *authoritative* answer comes from the entry's home — a concurrently
+    deleted file raises :class:`NoSuchPathError` here even though the
+    parent directory may still list it on a stale replica.
+    """
+    path = ns.normalize(path)
+    if fs.is_dir(path):
+        return StatResult(path=path, kind="dir", size=0,
+                          home=fs.dir_home(path))
+    element = fs.entry(path)
+    repo = Repository(fs.world, client)
+    try:
+        meta = yield from repo.fetch(element)
+    except NoSuchObjectError:
+        raise NoSuchPathError(path) from None
+    if not isinstance(meta, FileMeta):
+        raise NoSuchPathError(path)
+    return StatResult(path=path, kind=meta.kind, size=meta.size,
+                      home=element.home)
+
+
+def read_file(fs: FileSystem, client: NodeId, path: str) -> Generator[Any, Any, Any]:
+    """Fetch a file's contents from its home node."""
+    path = ns.normalize(path)
+    element = fs.entry(path)
+    repo = Repository(fs.world, client)
+    try:
+        meta = yield from repo.fetch(element)
+    except NoSuchObjectError:
+        raise NoSuchPathError(path) from None
+    if not isinstance(meta, FileMeta) or meta.is_dir:
+        raise NoSuchPathError(f"{path} is not a regular file")
+    return meta.content

@@ -1,0 +1,147 @@
+"""A distributed file system over the object store.
+
+"In a distributed file system, files and subdirectories in the same
+directory may reside on nodes different from each other and/or from the
+directory itself."
+
+The mapping is direct:
+
+* a **directory** is a collection (id ``dir:<path>``) whose primary
+  lives on the directory's *home node* — membership truth is exactly
+  Unix semantics (the directory's entries live with the directory);
+* a **file** is a member element whose data object (the file contents)
+  lives on the file's own home node, anywhere in the network;
+* a **subdirectory entry** is a member element whose data object is a
+  small marker stored on the subdirectory's home node.
+
+Directory setup is God-mode (``mkdir``/``create_file`` build the world
+before the experiment starts); reads and the dynamic-sets API go over
+honest RPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from ..errors import (
+    FileSystemError,
+    NoSuchPathError,
+    NotADirectoryError_,
+)
+from ..net.address import NodeId
+from ..store.elements import Element
+from ..store.world import World
+from . import namespace as ns
+
+__all__ = ["FileMeta", "FileSystem", "dir_collection_id"]
+
+
+def dir_collection_id(path: str) -> str:
+    return f"dir:{ns.normalize(path)}"
+
+
+@dataclass(frozen=True)
+class FileMeta:
+    """The value stored in a member's data object."""
+
+    kind: str                  # "file" | "dir"
+    path: str
+    content: Any = None
+    size: int = 0
+
+    @property
+    def is_dir(self) -> bool:
+        return self.kind == "dir"
+
+
+class FileSystem:
+    """Namespace management for directories-as-collections."""
+
+    def __init__(self, world: World, root_node: NodeId,
+                 replicas: Iterable[NodeId] = ()):
+        self.world = world
+        self.root_node = root_node
+        self.default_replicas = tuple(replicas)
+        self._dir_home: dict[str, NodeId] = {}
+        self._entries: dict[str, Element] = {}   # path -> element (setup-time index)
+        self.world.create_collection(dir_collection_id("/"), primary=root_node,
+                                     replicas=self.default_replicas)
+        self._dir_home["/"] = root_node
+
+    # ------------------------------------------------------------------
+    # setup (God-mode)
+    # ------------------------------------------------------------------
+    def mkdir(self, path: str, node: Optional[NodeId] = None,
+              replicas: Optional[Iterable[NodeId]] = None) -> str:
+        """Create a directory hosted on ``node`` (default: parent's home)."""
+        path = ns.normalize(path)
+        if path == "/" or path in self._dir_home:
+            raise FileSystemError(f"directory exists: {path}")
+        parent_path, name = ns.split(path)
+        parent_home = self._require_dir(parent_path)
+        node = node if node is not None else parent_home
+        reps = tuple(replicas) if replicas is not None else self.default_replicas
+        reps = tuple(r for r in reps if r != node)
+        self.world.create_collection(dir_collection_id(path), primary=node,
+                                     replicas=reps)
+        self._dir_home[path] = node
+        meta = FileMeta(kind="dir", path=path)
+        element = self.world.seed_member(
+            dir_collection_id(parent_path), name, value=meta, home=node
+        )
+        self._entries[path] = element
+        return path
+
+    def create_file(self, path: str, content: Any = None,
+                    home: Optional[NodeId] = None, size: int = 0) -> Element:
+        """Create a file whose contents live on ``home``."""
+        path = ns.normalize(path)
+        if path in self._entries or path in self._dir_home:
+            raise FileSystemError(f"path exists: {path}")
+        parent_path, name = ns.split(path)
+        parent_home = self._require_dir(parent_path)
+        home = home if home is not None else parent_home
+        meta = FileMeta(kind="file", path=path, content=content, size=size)
+        element = self.world.seed_member(
+            dir_collection_id(parent_path), name, value=meta, home=home, size=size
+        )
+        self._entries[path] = element
+        return element
+
+    # ------------------------------------------------------------------
+    # queries (setup-time index; runtime reads go through Repository/RPC)
+    # ------------------------------------------------------------------
+    def dir_home(self, path: str) -> NodeId:
+        return self._require_dir(path)
+
+    def is_dir(self, path: str) -> bool:
+        return ns.normalize(path) in self._dir_home
+
+    def entry(self, path: str) -> Element:
+        path = ns.normalize(path)
+        element = self._entries.get(path)
+        if element is None:
+            raise NoSuchPathError(path)
+        return element
+
+    def directory_collection(self, path: str) -> str:
+        self._require_dir(path)
+        return dir_collection_id(path)
+
+    def listdir_truth(self, path: str) -> frozenset[Element]:
+        """Ground truth directory contents (checker's view, not a client's)."""
+        return self.world.true_members(self.directory_collection(path))
+
+    def _require_dir(self, path: str) -> NodeId:
+        path = ns.normalize(path)
+        home = self._dir_home.get(path)
+        if home is None:
+            if path in self._entries:
+                raise NotADirectoryError_(path)
+            raise NoSuchPathError(path)
+        return home
+
+    def __repr__(self) -> str:
+        return (f"FileSystem(root@{self.root_node}, dirs={len(self._dir_home)}, "
+                f"entries={len(self._entries)})")

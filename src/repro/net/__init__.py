@@ -1,0 +1,48 @@
+"""Simulated wide-area network substrate.
+
+Builds the paper's model of a distributed system: "a set of connected
+nodes, not necessarily strongly connected", where "nodes may crash and
+communication links may fail", possibly producing partitions.  See
+DESIGN.md §2.
+"""
+
+from .address import Address, NodeId
+from .fabric import Network
+from .failure_detector import FailureDetector, PingService
+from .failures import FaultInjector, FaultPlan, FaultSchedule
+from .link import FixedLatency, LatencyModel, Link, ParetoLatency, UniformLatency
+from .message import Message
+from .node import Node
+from .partitions import PartitionManager
+from .stats import NetworkStats, NodeStats
+from .topology import Topology, full_mesh, line, random_graph, ring, star, wan_clusters
+from .transport import Transport
+
+__all__ = [
+    "Address",
+    "FailureDetector",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSchedule",
+    "FixedLatency",
+    "LatencyModel",
+    "Link",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "Node",
+    "NodeStats",
+    "NodeId",
+    "ParetoLatency",
+    "PartitionManager",
+    "PingService",
+    "Topology",
+    "Transport",
+    "UniformLatency",
+    "full_mesh",
+    "line",
+    "random_graph",
+    "ring",
+    "star",
+    "wan_clusters",
+]

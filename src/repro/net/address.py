@@ -1,0 +1,22 @@
+"""Node identifiers and service addresses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NodeId", "Address"]
+
+# Node identifiers are plain strings ("n0", "server-3", ...).  A type
+# alias keeps signatures readable without ceremony.
+NodeId = str
+
+
+@dataclass(frozen=True, order=True)
+class Address:
+    """A service endpoint: a named service hosted on a node."""
+
+    node: NodeId
+    service: str
+
+    def __str__(self) -> str:
+        return f"{self.service}@{self.node}"

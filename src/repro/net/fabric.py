@@ -1,0 +1,201 @@
+"""The :class:`Network` facade: one object wiring kernel, topology,
+partitions, nodes, and transport together.
+
+Client code (the weak-set implementations, the dynamic-sets file system,
+the benchmarks) talks to the world exclusively through this facade:
+
+* ``yield from net.call(src, dst, service, method, *args)`` — a blocking
+  RPC that either returns the remote result or raises a
+  :class:`~repro.errors.FailureException` (timeout / crash / partition /
+  link down).  This is the paper's model: "Processes (e.g., clients and
+  servers) communicate via remote procedure calls."
+* fault control: ``crash``, ``recover``, ``split``, ``isolate``,
+  ``rejoin``, ``heal``, ``cut_link``, ``restore_link``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..errors import FailureException, SimulationError, TimeoutFailure
+from ..sim.events import Sleep, Wait
+from ..sim.kernel import Kernel
+from .address import Address, NodeId
+from .message import Message
+from .node import Node
+from .partitions import PartitionManager
+from .topology import Topology
+from .transport import Transport
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A complete simulated distributed system."""
+
+    def __init__(self, kernel: Kernel, topology: Topology,
+                 default_timeout: float = 5.0,
+                 detection_delay: float = 0.02,
+                 fail_fast: bool = True):
+        """
+        Args:
+            kernel: the discrete-event kernel to run on.
+            topology: the physical network graph.
+            default_timeout: RPC timeout when the caller gives none.
+            detection_delay: virtual time the transport layer takes to
+                signal an unreachable destination (models the "failures
+                signaled from the lower network and transport layers").
+            fail_fast: if False, unreachable destinations are only ever
+                detected by timeout — the purely pessimistic transport.
+        """
+        self.kernel = kernel
+        self.topology = topology
+        self.default_timeout = default_timeout
+        self.detection_delay = detection_delay
+        self.fail_fast = fail_fast
+        self.partitions = PartitionManager(topology.nodes())
+        self.nodes: dict[NodeId, Node] = {
+            name: Node(name, kernel) for name in topology.nodes()
+        }
+        self.transport = Transport(kernel, topology, self.partitions, self.nodes)
+        self._listeners: list = []
+
+    # -- change notification -------------------------------------------------
+    def on_connectivity_change(self, callback) -> "callable":
+        """Subscribe to connectivity changes (crash/recover/partition/link).
+
+        Used by the specification checker to re-sample ``reachable``
+        whenever the world changes.  Returns an unsubscribe function.
+        """
+        self._listeners.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def _notify(self) -> None:
+        for callback in list(self._listeners):
+            callback()
+
+    # -- structure -------------------------------------------------------
+    def node(self, name: NodeId) -> Node:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise SimulationError(f"unknown node {name!r}") from None
+
+    def register_service(self, node: NodeId, service_name: str, service: Any) -> Address:
+        self.node(node).register_service(service_name, service)
+        return Address(node, service_name)
+
+    @property
+    def now(self) -> float:
+        return self.kernel.now
+
+    # -- RPC ----------------------------------------------------------------
+    def call(self, src: NodeId, dst: NodeId, service: str, method: str,
+             *args: Any, timeout: Optional[float] = None,
+             **kwargs: Any) -> Generator[Any, Any, Any]:
+        """Blocking RPC from ``src`` to ``service@dst`` (a sub-generator).
+
+        Raises a concrete :class:`FailureException` on any detectable
+        failure.  Use as ``result = yield from net.call(...)``.
+        """
+        if timeout is None:
+            timeout = self.default_timeout
+        src_node = self.node(src)
+        if not src_node.up:
+            raise SimulationError(f"caller node {src} is crashed")
+        reason = self.transport.unreachable_reason(src, dst)
+        if reason is not None and self.fail_fast:
+            # The transport layer detects and signals the failure after a
+            # short detection delay, instead of burning the full timeout.
+            yield Sleep(min(self.detection_delay, timeout))
+            raise reason
+        request = Message(
+            src=Address(src, "client"),
+            dst=Address(dst, service),
+            method=method,
+            payload=(args, kwargs),
+        )
+        reply = self.transport.register_reply(request)
+        self.transport.send(request)
+        # timeout=inf means "wait forever" (used by lock clients that are
+        # prepared to block indefinitely); Wait gets no timer at all.
+        wait_timeout: Optional[float] = None if timeout == float("inf") else timeout
+        try:
+            result = yield Wait(reply, timeout=wait_timeout)
+        except TimeoutFailure:
+            self.transport.forget_reply(request.msg_id)
+            # Classify the timeout if the transport now knows the cause.
+            reason = self.transport.unreachable_reason(src, dst)
+            if reason is not None:
+                raise reason from None
+            raise TimeoutFailure(
+                f"rpc {service}.{method} {src}->{dst} timed out after {timeout}s"
+            ) from None
+        return result
+
+    # -- fault injection -------------------------------------------------
+    def crash(self, node: NodeId) -> None:
+        self.node(node).crash()
+        self.topology.set_node_up(node, False)
+        self._notify()
+
+    def recover(self, node: NodeId) -> None:
+        self.node(node).recover()
+        self.topology.set_node_up(node, True)
+        self._notify()
+
+    def split(self, *sides) -> None:
+        self.partitions.split(*sides)
+        self._notify()
+
+    def isolate(self, node: NodeId) -> None:
+        self.partitions.isolate(node)
+        self._notify()
+
+    def rejoin(self, node: NodeId) -> None:
+        self.partitions.rejoin(node)
+        self._notify()
+
+    def heal(self) -> None:
+        self.partitions.heal()
+        self._notify()
+
+    def cut_link(self, a: NodeId, b: NodeId) -> None:
+        self.topology.set_link_up(a, b, False)
+        self._notify()
+
+    def restore_link(self, a: NodeId, b: NodeId) -> None:
+        self.topology.set_link_up(a, b, True)
+        self._notify()
+
+    # -- queries --------------------------------------------------------------
+    def can_reach(self, src: NodeId, dst: NodeId) -> bool:
+        return self.transport.can_reach(src, dst)
+
+    def reachable_from(self, src: NodeId) -> set[NodeId]:
+        """All nodes currently reachable from ``src`` (including itself)."""
+        if not self.node(src).up:
+            return set()
+        return {
+            n for n in self.nodes
+            if n == src or self.transport.can_reach(src, n)
+        }
+
+    def expected_latency(self, a: NodeId, b: NodeId) -> Optional[float]:
+        """Closest-first proximity metric; None if currently unreachable."""
+        if not self.can_reach(a, b):
+            return None
+        if a == b:
+            return 0.0
+        return self.topology.expected_latency(a, b)
+
+    def __repr__(self) -> str:
+        up = sum(1 for n in self.nodes.values() if n.up)
+        return f"Network(nodes={len(self.nodes)}, up={up}, t={self.now:.3f})"

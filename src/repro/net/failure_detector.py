@@ -1,0 +1,85 @@
+"""A timeout-based failure detector.
+
+"We assume we can detect failures, e.g., those signaled from the lower
+network and transport layers of the communication substrate."
+
+The detector pings a set of monitored nodes on a period; a node whose
+last ``suspect_after`` seconds contained no successful ping is
+*suspected*.  It is unreliable in the classic way — it can suspect a
+slow-but-alive node and can briefly trust a dead one — which is exactly
+the behaviour the pessimistic/optimistic comparison (E4) needs.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable
+
+from ..errors import FailureException
+from ..sim.events import Sleep
+from .address import NodeId
+from .fabric import Network
+
+__all__ = ["PingService", "FailureDetector"]
+
+
+class PingService:
+    """Trivial service answering pings; install on monitored nodes."""
+
+    def ping(self) -> str:
+        return "pong"
+
+
+class FailureDetector:
+    """Heartbeat monitor running on one node, watching many."""
+
+    SERVICE = "ping"
+
+    def __init__(self, net: Network, home: NodeId, monitored: Iterable[NodeId],
+                 period: float = 0.5, suspect_after: float = 1.5,
+                 rpc_timeout: float = 0.4):
+        self.net = net
+        self.home = home
+        self.monitored = sorted(set(monitored) - {home})
+        self.period = period
+        self.suspect_after = suspect_after
+        self.rpc_timeout = rpc_timeout
+        self._last_ok: dict[NodeId, float] = {n: net.now for n in self.monitored}
+        self.transitions: list[tuple[float, NodeId, bool]] = []
+        self._suspected: set[NodeId] = set()
+
+    @staticmethod
+    def install_ping(net: Network, nodes: Iterable[NodeId]) -> None:
+        for node in nodes:
+            net.register_service(node, FailureDetector.SERVICE, PingService())
+
+    def start(self) -> None:
+        self.net.kernel.spawn(self.run(), name=f"fd@{self.home}", daemon=True)
+
+    def is_suspected(self, node: NodeId) -> bool:
+        return node in self._suspected
+
+    def suspected(self) -> set[NodeId]:
+        return set(self._suspected)
+
+    def run(self) -> Generator:
+        while True:
+            for node in self.monitored:
+                try:
+                    yield from self.net.call(
+                        self.home, node, self.SERVICE, "ping",
+                        timeout=self.rpc_timeout,
+                    )
+                    self._last_ok[node] = self.net.now
+                except FailureException:
+                    pass
+                self._refresh(node)
+            yield Sleep(self.period)
+
+    def _refresh(self, node: NodeId) -> None:
+        stale = self.net.now - self._last_ok[node] > self.suspect_after
+        if stale and node not in self._suspected:
+            self._suspected.add(node)
+            self.transitions.append((self.net.now, node, True))
+        elif not stale and node in self._suspected:
+            self._suspected.discard(node)
+            self.transitions.append((self.net.now, node, False))

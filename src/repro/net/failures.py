@@ -1,0 +1,151 @@
+"""Fault injection: scheduled and stochastic failures.
+
+Two styles, matching what the benchmarks need:
+
+* :class:`FaultSchedule` — a deterministic script of (time, action)
+  pairs, for tests and counterexample construction.
+* :class:`FaultInjector` — a stochastic background process that crashes
+  nodes, cuts links, and creates partitions at configured rates, with
+  exponentially distributed repair times.  The paper's environment is
+  one where "failures are assumed to be common"; the injector makes
+  that a dial the availability experiments (E4) can sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from ..sim.events import Fork, Sleep
+from .address import NodeId
+from .fabric import Network
+
+__all__ = ["FaultSchedule", "FaultPlan", "FaultInjector"]
+
+
+@dataclass
+class FaultSchedule:
+    """A deterministic list of timed fault actions."""
+
+    actions: list[tuple[float, Callable[[Network], None]]] = field(default_factory=list)
+
+    def at(self, time: float, action: Callable[[Network], None]) -> "FaultSchedule":
+        self.actions.append((time, action))
+        return self
+
+    def crash_at(self, time: float, node: NodeId) -> "FaultSchedule":
+        return self.at(time, lambda net: net.crash(node))
+
+    def recover_at(self, time: float, node: NodeId) -> "FaultSchedule":
+        return self.at(time, lambda net: net.recover(node))
+
+    def isolate_at(self, time: float, node: NodeId) -> "FaultSchedule":
+        return self.at(time, lambda net: net.isolate(node))
+
+    def rejoin_at(self, time: float, node: NodeId) -> "FaultSchedule":
+        return self.at(time, lambda net: net.rejoin(node))
+
+    def cut_link_at(self, time: float, a: NodeId, b: NodeId) -> "FaultSchedule":
+        return self.at(time, lambda net: net.cut_link(a, b))
+
+    def restore_link_at(self, time: float, a: NodeId, b: NodeId) -> "FaultSchedule":
+        return self.at(time, lambda net: net.restore_link(a, b))
+
+    def run(self, net: Network) -> Generator:
+        """Simulated process executing the schedule (spawn as daemon)."""
+        last = 0.0
+        for time, action in sorted(self.actions, key=lambda pair: pair[0]):
+            if time > last:
+                yield Sleep(time - last)
+                last = time
+            action(net)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Rates for stochastic fault injection (all events per second).
+
+    ``crash_rate`` / ``isolate_rate`` / ``link_cut_rate`` are per-node
+    (or per-link) hazard rates; ``mean_downtime`` is the expected repair
+    time.  A plan with all rates zero injects nothing.
+    """
+
+    crash_rate: float = 0.0
+    isolate_rate: float = 0.0
+    link_cut_rate: float = 0.0
+    mean_downtime: float = 1.0
+    protected: frozenset[NodeId] = frozenset()
+
+    def total_rate(self, n_nodes: int, n_links: int) -> float:
+        return (self.crash_rate * n_nodes
+                + self.isolate_rate * n_nodes
+                + self.link_cut_rate * n_links)
+
+
+class FaultInjector:
+    """Background process injecting faults per a :class:`FaultPlan`."""
+
+    def __init__(self, net: Network, plan: FaultPlan, stream_name: str = "faults"):
+        self.net = net
+        self.plan = plan
+        self.stream = net.kernel.stream(stream_name)
+        self.injected: list[tuple[float, str, str]] = []  # (time, kind, target)
+
+    def start(self):
+        """Spawn the injector; returns its process (kill it to stop)."""
+        self._proc = self.net.kernel.spawn(self.run(), name="fault-injector", daemon=True)
+        return self._proc
+
+    def stop(self) -> None:
+        """Stop injecting new faults (in-flight repairs still complete)."""
+        proc = getattr(self, "_proc", None)
+        if proc is not None:
+            proc._kill()
+
+    def _victims(self) -> list[NodeId]:
+        return [n for n in sorted(self.net.nodes) if n not in self.plan.protected]
+
+    def run(self) -> Generator:
+        nodes = self._victims()
+        links = self.net.topology.links()
+        total = self.plan.total_rate(len(nodes), len(links))
+        if total <= 0 or not nodes:
+            return
+        while True:
+            yield Sleep(self.stream.exponential(1.0 / total))
+            # Pick the fault kind proportionally to its share of the rate.
+            r = self.stream.random() * total
+            crash_share = self.plan.crash_rate * len(nodes)
+            isolate_share = self.plan.isolate_rate * len(nodes)
+            if r < crash_share:
+                node = self.stream.choice(nodes)
+                if self.net.node(node).up:
+                    yield Fork(self._crash_then_recover(node), "", True)
+            elif r < crash_share + isolate_share:
+                node = self.stream.choice(nodes)
+                yield Fork(self._isolate_then_rejoin(node), "", True)
+            elif links:
+                link = self.stream.choice(links)
+                if link.up:
+                    yield Fork(self._cut_then_restore(link.a, link.b), "", True)
+
+    def _downtime(self) -> float:
+        return self.stream.exponential(self.plan.mean_downtime)
+
+    def _crash_then_recover(self, node: NodeId) -> Generator:
+        self.injected.append((self.net.now, "crash", node))
+        self.net.crash(node)
+        yield Sleep(self._downtime())
+        self.net.recover(node)
+
+    def _isolate_then_rejoin(self, node: NodeId) -> Generator:
+        self.injected.append((self.net.now, "isolate", node))
+        self.net.isolate(node)
+        yield Sleep(self._downtime())
+        self.net.rejoin(node)
+
+    def _cut_then_restore(self, a: NodeId, b: NodeId) -> Generator:
+        self.injected.append((self.net.now, "cut", f"{a}<->{b}"))
+        self.net.cut_link(a, b)
+        yield Sleep(self._downtime())
+        self.net.restore_link(a, b)

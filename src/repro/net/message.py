@@ -1,0 +1,41 @@
+"""Message envelopes for the simulated transport."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .address import Address
+
+__all__ = ["Message"]
+
+_msg_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Message:
+    """One network message (request or reply)."""
+
+    src: Address
+    dst: Address
+    method: str
+    payload: Any = None
+    is_reply: bool = False
+    reply_to: Optional[int] = None
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    def reply(self, payload: Any, *, error: bool = False) -> "Message":
+        """Build the reply envelope for this request."""
+        return Message(
+            src=self.dst,
+            dst=self.src,
+            method=f"{self.method}{'!error' if error else '!ok'}",
+            payload=payload,
+            is_reply=True,
+            reply_to=self.msg_id,
+        )
+
+    def __str__(self) -> str:
+        kind = "reply" if self.is_reply else "call"
+        return f"{kind} #{self.msg_id} {self.src} -> {self.dst} {self.method}"

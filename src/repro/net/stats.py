@@ -1,0 +1,75 @@
+"""Per-node message accounting.
+
+The experiments argue about *cost* as well as latency (e.g. quorum
+reads buy availability with extra messages); these counters put numbers
+on it.  Maintained by the transport for every message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .address import NodeId
+from .message import Message
+
+__all__ = ["NodeStats", "NetworkStats"]
+
+
+@dataclass
+class NodeStats:
+    """Counters for one node."""
+
+    sent: int = 0
+    received: int = 0
+    requests_handled: int = 0
+
+    def __str__(self) -> str:
+        return (f"sent={self.sent} received={self.received} "
+                f"handled={self.requests_handled}")
+
+
+@dataclass
+class NetworkStats:
+    """Counters for the whole network, per node and aggregate."""
+
+    per_node: dict[NodeId, NodeStats] = field(default_factory=dict)
+    total_sent: int = 0
+    total_delivered: int = 0
+    total_dropped: int = 0
+
+    def node(self, name: NodeId) -> NodeStats:
+        stats = self.per_node.get(name)
+        if stats is None:
+            stats = NodeStats()
+            self.per_node[name] = stats
+        return stats
+
+    def record_send(self, msg: Message) -> None:
+        self.total_sent += 1
+        self.node(msg.src.node).sent += 1
+
+    def record_delivery(self, msg: Message) -> None:
+        self.total_delivered += 1
+        receiver = self.node(msg.dst.node)
+        receiver.received += 1
+        if not msg.is_reply:
+            receiver.requests_handled += 1
+
+    def record_drop(self, msg: Message) -> None:
+        self.total_dropped += 1
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.total_delivered / self.total_sent if self.total_sent else 0.0
+
+    def busiest_nodes(self, k: int = 5) -> list[tuple[NodeId, int]]:
+        """Top-k nodes by requests handled (the hot servers)."""
+        ranked = sorted(self.per_node.items(),
+                        key=lambda item: item[1].requests_handled,
+                        reverse=True)
+        return [(name, stats.requests_handled) for name, stats in ranked[:k]]
+
+    def __str__(self) -> str:
+        return (f"NetworkStats(sent={self.total_sent}, "
+                f"delivered={self.total_delivered}, "
+                f"dropped={self.total_dropped})")

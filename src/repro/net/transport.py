@@ -1,0 +1,169 @@
+"""Message transport: delivery, loss, and RPC dispatch plumbing.
+
+The transport decides whether a message can travel (both nodes up, same
+partition group, a physical route of up links), samples its delay, and
+delivers it.  Undeliverable messages are silently dropped — callers
+observe the loss as a timeout, or fail fast via
+:meth:`Transport.unreachable_reason`, which plays the role of the
+paper's "failures signaled from the lower network and transport layers".
+"""
+
+from __future__ import annotations
+
+import types
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from ..errors import (
+    FailureException,
+    LinkDownFailure,
+    NodeCrashFailure,
+    PartitionFailure,
+    SimulationError,
+)
+from ..sim.events import Signal
+from .address import Address, NodeId
+from .message import Message
+from .node import Node
+from .partitions import PartitionManager
+from .stats import NetworkStats
+from .topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.kernel import Kernel
+
+__all__ = ["Transport"]
+
+
+class Transport:
+    """Delivers messages between nodes and dispatches RPC handlers."""
+
+    def __init__(self, kernel: "Kernel", topology: Topology,
+                 partitions: PartitionManager, nodes: dict[NodeId, Node]):
+        self.kernel = kernel
+        self.topology = topology
+        self.partitions = partitions
+        self.nodes = nodes
+        self._pending_replies: dict[int, Signal] = {}
+        self._latency_stream = kernel.stream("net.latency")
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.stats = NetworkStats()
+
+    # -- reachability -----------------------------------------------------
+    def unreachable_reason(self, src: NodeId, dst: NodeId) -> Optional[FailureException]:
+        """Why ``dst`` cannot be reached from ``src`` (None if it can).
+
+        The returned exception instance is ready to raise; its concrete
+        class tells callers what kind of failure the transport detected.
+        """
+        dst_node = self.nodes.get(dst)
+        if dst_node is None:
+            raise SimulationError(f"unknown destination node {dst!r}")
+        if not dst_node.up:
+            return NodeCrashFailure(f"node {dst} is crashed")
+        if not self.partitions.same_partition(src, dst):
+            return PartitionFailure(f"{src} and {dst} are in different partitions")
+        if not self.topology.connected(src, dst):
+            return LinkDownFailure(f"no up path from {src} to {dst}")
+        return None
+
+    def can_reach(self, src: NodeId, dst: NodeId) -> bool:
+        return self.unreachable_reason(src, dst) is None
+
+    # -- sending ---------------------------------------------------------
+    def send(self, msg: Message) -> bool:
+        """Attempt delivery; returns False if dropped at send time.
+
+        Loss after send (destination crashes or partitions while the
+        message is in flight) is checked again at delivery time.
+        """
+        self.messages_sent += 1
+        self.stats.record_send(msg)
+        if self.unreachable_reason(msg.src.node, msg.dst.node) is not None:
+            self.messages_dropped += 1
+            self.stats.record_drop(msg)
+            self.kernel.trace.record("drop", msg=str(msg), at="send")
+            return False
+        route = self.topology.route(msg.src.node, msg.dst.node) or []
+        for link in route:
+            if link.loss_rate > 0.0 and self._latency_stream.bernoulli(link.loss_rate):
+                self.messages_dropped += 1
+                self.stats.record_drop(msg)
+                self.kernel.trace.record("drop", msg=str(msg), at="loss",
+                                         link=f"{link.a}<->{link.b}")
+                return False
+        delay = self.topology.path_latency(msg.src.node, msg.dst.node, self._latency_stream)
+        assert delay is not None
+        self.kernel.trace.record("send", msg=str(msg), delay=round(delay, 6))
+        self.kernel.call_soon(lambda: self._deliver(msg), delay=delay)
+        return True
+
+    def _deliver(self, msg: Message) -> None:
+        if self.unreachable_reason(msg.src.node, msg.dst.node) is not None:
+            self.messages_dropped += 1
+            self.stats.record_drop(msg)
+            self.kernel.trace.record("drop", msg=str(msg), at="delivery")
+            return
+        self.stats.record_delivery(msg)
+        self.kernel.trace.record("recv", msg=str(msg))
+        if msg.is_reply:
+            self._complete_reply(msg)
+        else:
+            self._dispatch_request(msg)
+
+    # -- RPC bookkeeping ----------------------------------------------------
+    def register_reply(self, request: Message) -> Signal:
+        sig = Signal(name=f"reply#{request.msg_id}")
+        self._pending_replies[request.msg_id] = sig
+        return sig
+
+    def forget_reply(self, request_id: int) -> None:
+        self._pending_replies.pop(request_id, None)
+
+    def _complete_reply(self, msg: Message) -> None:
+        sig = self._pending_replies.pop(msg.reply_to or -1, None)
+        if sig is None or sig.fired:
+            return  # caller gave up (timeout) before the reply landed
+        if msg.method.endswith("!error"):
+            error = msg.payload
+            if not isinstance(error, BaseException):
+                error = SimulationError(f"remote error: {error!r}")
+            sig.fail(error)
+        else:
+            sig.fire(msg.payload)
+
+    # -- server-side dispatch ------------------------------------------------
+    def _dispatch_request(self, msg: Message) -> None:
+        node = self.nodes[msg.dst.node]
+        try:
+            service = node.service(msg.dst.service)
+            handler = getattr(service, msg.method, None)
+            if handler is None or msg.method.startswith("_"):
+                raise SimulationError(
+                    f"{msg.dst}: no RPC method {msg.method!r}"
+                )
+            args, kwargs = msg.payload
+            result = handler(*args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to caller
+            self.send(msg.reply(exc, error=True))
+            return
+        if isinstance(result, types.GeneratorType):
+            self._run_handler(node, msg, result)
+        else:
+            self.send(msg.reply(result))
+
+    def _run_handler(self, node: Node, msg: Message, gen: types.GeneratorType) -> None:
+        proc = self.kernel.spawn(
+            gen, name=f"{msg.dst}.{msg.method}#{msg.msg_id}", daemon=True
+        )
+        node.track_handler(proc)
+
+        def on_done(sig: Signal) -> None:
+            if not node.up:
+                return  # crashed while handling: reply is lost
+            if sig.error is not None:
+                self.send(msg.reply(sig.error, error=True))
+            else:
+                self.send(msg.reply(sig._value))
+
+        proc.done.add_waiter(on_done)

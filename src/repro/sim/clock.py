@@ -1,0 +1,40 @@
+"""Virtual time for the discrete-event kernel.
+
+Simulated time is a float number of *seconds*.  Nothing in the simulator
+ever consults the wall clock; a run is a pure function of its inputs.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+__all__ = ["Clock"]
+
+
+class Clock:
+    """A monotonically non-decreasing virtual clock.
+
+    Only the kernel advances the clock; user code reads it via
+    :attr:`now` (or ``kernel.now``).
+    """
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to ``t``.  Moving backwards is a bug."""
+        if t < self._now:
+            raise SimulationError(
+                f"clock would move backwards: {self._now} -> {t}"
+            )
+        self._now = t
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now:.6f})"

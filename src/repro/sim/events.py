@@ -1,0 +1,157 @@
+"""Completion signals and the effect vocabulary of simulated processes.
+
+A simulated process is a Python generator.  It communicates with the
+kernel by *yielding effects*:
+
+========================  ====================================================
+``yield Sleep(d)``        suspend for ``d`` seconds of virtual time
+``yield Wait(sig)``       suspend until ``sig`` fires; resumes with its value
+``yield Wait(sig, t)``    same, but raise :class:`TimeoutFailure` after ``t``
+``yield Fork(gen)``       spawn a child process; resumes with its handle
+``yield Join(proc)``      suspend until ``proc`` finishes; resumes with result
+``yield Now()``           resumes immediately with the current virtual time
+========================  ====================================================
+
+Ordinary ``yield from`` composes sub-generators without kernel
+involvement, so simulated code factors into functions naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .process import Process
+
+__all__ = ["Signal", "Sleep", "Wait", "Fork", "Join", "Now", "Effect"]
+
+
+class Signal:
+    """A one-shot, single-value completion signal.
+
+    A signal starts *pending*; exactly one of :meth:`fire` or
+    :meth:`fail` moves it to *fired*.  Processes wait on it with
+    ``yield Wait(signal)``; waiters registered after firing are resumed
+    immediately by the kernel.
+    """
+
+    __slots__ = ("name", "_fired", "_value", "_error", "_waiters")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._fired = False
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        self._waiters: list[Callable[["Signal"], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        if not self._fired:
+            raise SimulationError(f"signal {self.name!r} has not fired")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self._error if self._fired else None
+
+    def fire(self, value: Any = None) -> None:
+        """Complete the signal successfully with ``value``."""
+        self._complete(value, None)
+
+    def fail(self, error: BaseException) -> None:
+        """Complete the signal with an exception."""
+        self._complete(None, error)
+
+    def _complete(self, value: Any, error: Optional[BaseException]) -> None:
+        if self._fired:
+            raise SimulationError(f"signal {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        self._error = error
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            callback(self)
+
+    def add_waiter(self, callback: Callable[["Signal"], None]) -> None:
+        """Kernel-internal: register a resumption callback."""
+        if self._fired:
+            callback(self)
+        else:
+            self._waiters.append(callback)
+
+    def discard_waiter(self, callback: Callable[["Signal"], None]) -> None:
+        """Kernel-internal: remove a callback (used by timed-out waits)."""
+        try:
+            self._waiters.remove(callback)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:
+        state = "fired" if self._fired else "pending"
+        return f"Signal({self.name!r}, {state})"
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Suspend the yielding process for ``duration`` seconds."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise SimulationError(f"cannot sleep for negative time {self.duration}")
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Suspend until ``signal`` fires, optionally bounded by ``timeout``.
+
+    On success the process resumes with the signal's value; if the signal
+    failed, its exception is thrown into the process; if the timeout
+    elapses first, :class:`repro.errors.TimeoutFailure` is thrown.
+    """
+
+    signal: Signal
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout < 0:
+            raise SimulationError(f"negative timeout {self.timeout}")
+
+
+@dataclass(frozen=True)
+class Fork:
+    """Spawn ``generator`` as a new process; resume with its handle."""
+
+    generator: Generator
+    name: str = ""
+    daemon: bool = field(default=False)
+
+
+@dataclass(frozen=True)
+class Join:
+    """Suspend until ``process`` finishes; resume with its return value.
+
+    If the process died with an exception, that exception is rethrown in
+    the joiner.  An optional timeout raises ``TimeoutFailure``.
+    """
+
+    process: "Process"
+    timeout: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class Now:
+    """Resume immediately with the current virtual time."""
+
+
+Effect = (Sleep, Wait, Fork, Join, Now)

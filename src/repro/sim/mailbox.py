@@ -1,0 +1,94 @@
+"""An unbounded FIFO channel between simulated processes.
+
+The kernel's :class:`~repro.sim.events.Signal` is one-shot; a
+:class:`Mailbox` is the reusable many-message primitive built on it:
+producers ``put`` without blocking, consumers ``yield from get()`` and
+block (in virtual time) until an item arrives.  Closing wakes all
+consumers; a drained, closed mailbox returns the ``on_closed`` sentinel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator, Optional
+
+from ..errors import SimulationError
+from .events import Signal, Wait
+
+__all__ = ["Mailbox", "CLOSED"]
+
+
+class _Closed:
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<mailbox CLOSED>"
+
+
+CLOSED = _Closed()
+
+
+class Mailbox:
+    """FIFO queue with blocking (virtual-time) consumers."""
+
+    def __init__(self, name: str = "mailbox"):
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._waiters: deque[Signal] = deque()
+        self._closed = False
+
+    # -- producer side ------------------------------------------------------
+    def put(self, item: Any) -> None:
+        if self._closed:
+            raise SimulationError(f"{self.name}: put() after close()")
+        self._items.append(item)
+        self._wake_one()
+
+    def close(self) -> None:
+        """No more puts; pending gets drain, then receive ``CLOSED``."""
+        self._closed = True
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.fired:
+                waiter.fire(None)
+
+    # -- consumer side ------------------------------------------------------
+    def get(self, timeout: Optional[float] = None) -> Generator[Any, Any, Any]:
+        """Next item, blocking until one arrives.
+
+        Returns :data:`CLOSED` when the mailbox is closed and drained.
+        A ``timeout`` raises :class:`~repro.errors.TimeoutFailure`.
+        """
+        while True:
+            if self._items:
+                return self._items.popleft()
+            if self._closed:
+                return CLOSED
+            signal = Signal(name=f"{self.name}.get")
+            self._waiters.append(signal)
+            yield Wait(signal, timeout=timeout)
+
+    def get_nowait(self) -> Any:
+        """Next item or :data:`CLOSED` or raise if simply empty."""
+        if self._items:
+            return self._items.popleft()
+        if self._closed:
+            return CLOSED
+        raise SimulationError(f"{self.name}: empty (and not closed)")
+
+    # -- introspection ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _wake_one(self) -> None:
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.fired:
+                waiter.fire(None)
+                return
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"Mailbox({self.name!r}, {len(self._items)} queued, {state})"

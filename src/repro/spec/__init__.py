@@ -1,0 +1,103 @@
+"""Executable Larch-style specifications of weak sets.
+
+The paper's primary contribution, made runnable: the computation model
+(states, histories, the object/value distinction), the special
+constructs (``remembers`` history objects, ``constraint`` history
+properties, ``suspends``/``returns``/``fails``, and the novel
+``reachable`` function), the four figure specifications, and a trace
+conformance checker.  See DESIGN.md §3 for the construct-to-module map.
+"""
+
+from .explain import InvocationExplanation, explain_trace
+from .checker import (
+    ConformanceReport,
+    check_conformance,
+    check_constraint,
+    check_ensures,
+    conformance_matrix,
+    weak_guarantee_violations,
+)
+from .constraints import (
+    Constraint,
+    GrowOnlyConstraint,
+    ImmutableConstraint,
+    PerRunConstraint,
+    TrivialConstraint,
+    per_run_grow_only,
+    per_run_immutable,
+)
+from .figures import (
+    ALL_FIGURES,
+    RELAXED_VARIANTS,
+    Figure1ImmutableNoFailures,
+    Figure3ImmutableWithFailures,
+    Figure3PerRunImmutable,
+    Figure4SnapshotLossOfMutations,
+    Figure5GrowOnlyPessimistic,
+    Figure5PerRunGrowOnly,
+    Figure6OptimisticDynamic,
+    spec_by_id,
+)
+from .iterspec import IteratorSpec, SpecViolationDetail, structural_violations
+from .mathset import FunctionalSet
+from .minimize import minimal_violating_prefix, prefix_of
+from .procedures import CheckedProcedures, ProcedureViolation
+from .render import render_all, render_spec
+from .serialize import trace_from_dict, trace_from_json, trace_to_dict, trace_to_json
+from .state import InvocationRecord, StateSnapshot
+from .taxonomy import Classification, classify, taxonomy_table
+from .termination import Failed, Outcome, Returned, Yielded
+from .trace import IterationTrace, TraceRecorder
+
+__all__ = [
+    "ALL_FIGURES",
+    "RELAXED_VARIANTS",
+    "Classification",
+    "ConformanceReport",
+    "Constraint",
+    "CheckedProcedures",
+    "Failed",
+    "Figure1ImmutableNoFailures",
+    "Figure3ImmutableWithFailures",
+    "Figure3PerRunImmutable",
+    "Figure4SnapshotLossOfMutations",
+    "Figure5GrowOnlyPessimistic",
+    "Figure5PerRunGrowOnly",
+    "Figure6OptimisticDynamic",
+    "FunctionalSet",
+    "GrowOnlyConstraint",
+    "ImmutableConstraint",
+    "InvocationExplanation",
+    "InvocationRecord",
+    "IterationTrace",
+    "IteratorSpec",
+    "Outcome",
+    "PerRunConstraint",
+    "ProcedureViolation",
+    "Returned",
+    "SpecViolationDetail",
+    "StateSnapshot",
+    "TraceRecorder",
+    "TrivialConstraint",
+    "Yielded",
+    "check_conformance",
+    "check_constraint",
+    "check_ensures",
+    "classify",
+    "conformance_matrix",
+    "explain_trace",
+    "minimal_violating_prefix",
+    "prefix_of",
+    "per_run_grow_only",
+    "per_run_immutable",
+    "render_all",
+    "render_spec",
+    "spec_by_id",
+    "structural_violations",
+    "taxonomy_table",
+    "trace_from_dict",
+    "trace_from_json",
+    "trace_to_dict",
+    "trace_to_json",
+    "weak_guarantee_violations",
+]

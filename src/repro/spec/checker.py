@@ -1,0 +1,154 @@
+"""Trace conformance checking: ensures + constraint, combined verdicts.
+
+This is the tool the paper's authors lacked in 1994: given a recorded
+execution of an iterator implementation and one of the figure
+specifications, decide mechanically whether the execution satisfies the
+specification — and if not, produce the counterexample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..store.elements import Element
+from ..store.world import World
+from .constraints import Constraint, ConstraintViolationDetail, PerRunConstraint
+from .iterspec import IteratorSpec, SpecViolationDetail
+from .termination import Yielded
+from .trace import IterationTrace
+
+__all__ = [
+    "ConformanceReport",
+    "check_conformance",
+    "check_ensures",
+    "check_constraint",
+    "weak_guarantee_violations",
+    "conformance_matrix",
+]
+
+History = Sequence[tuple[float, frozenset[Element]]]
+
+
+@dataclass
+class ConformanceReport:
+    """The verdict of checking one trace against one specification."""
+
+    spec_id: str
+    impl_name: str
+    ensures_violations: list[SpecViolationDetail] = field(default_factory=list)
+    constraint_violations: list[ConstraintViolationDetail] = field(default_factory=list)
+    complete: bool = True     # did the iterator actually terminate?
+
+    @property
+    def conformant(self) -> bool:
+        return not self.ensures_violations and not self.constraint_violations
+
+    def summary(self) -> str:
+        verdict = "CONFORMS" if self.conformant else "VIOLATES"
+        detail = ""
+        if not self.conformant:
+            parts = []
+            if self.ensures_violations:
+                parts.append(f"{len(self.ensures_violations)} ensures")
+            if self.constraint_violations:
+                parts.append(f"{len(self.constraint_violations)} constraint")
+            detail = f" ({', '.join(parts)} violation(s))"
+        return f"{self.impl_name or 'trace'} vs {self.spec_id}: {verdict}{detail}"
+
+    def counterexample(self) -> Optional[str]:
+        """The first violation, human-readably (None if conformant)."""
+        if self.ensures_violations:
+            return str(self.ensures_violations[0])
+        if self.constraint_violations:
+            return str(self.constraint_violations[0])
+        return None
+
+
+def check_ensures(trace: IterationTrace, spec: IteratorSpec) -> list[SpecViolationDetail]:
+    """Just the ensures clause (structural + figure-specific)."""
+    return spec.check_trace(trace)
+
+
+def check_constraint(spec: IteratorSpec, history: History,
+                     windows: Optional[Sequence[tuple[float, float]]] = None
+                     ) -> list[ConstraintViolationDetail]:
+    """Just the constraint clause against a membership history."""
+    constraint: Constraint = spec.constraint
+    if isinstance(constraint, PerRunConstraint):
+        return constraint.check_windows(history, windows or [])
+    return constraint.check(list(history))
+
+
+def check_conformance(trace: IterationTrace, spec: IteratorSpec,
+                      world: Optional[World] = None,
+                      history: Optional[History] = None) -> ConformanceReport:
+    """Full conformance: ensures clause + constraint clause.
+
+    The constraint is evaluated over the collection's membership history
+    *restricted to the trace's window* — the computation the client
+    observed.  (The paper's constraint quantifies over whole
+    computations; restricting to the window is what makes per-trace
+    verdicts meaningful when several iterations with different
+    tolerances share one world.)
+    """
+    if history is None:
+        if world is None:
+            raise ValueError("check_conformance needs a world or an explicit history")
+        history = world.membership_history(trace.coll_id)
+    window = trace.window()
+    if window is not None:
+        history = _clip(history, window[0], window[1])
+    report = ConformanceReport(
+        spec_id=spec.spec_id,
+        impl_name=trace.impl_name,
+        ensures_violations=check_ensures(trace, spec),
+        constraint_violations=check_constraint(
+            spec, history, windows=[window] if window else []
+        ),
+        complete=trace.terminated,
+    )
+    return report
+
+
+def weak_guarantee_violations(trace: IterationTrace, history: History) -> list[str]:
+    """§3.4's global weak guarantee, checked directly.
+
+    "The specification we give requires that any element yielded must
+    actually be in the set, for some state of the set between the
+    first-state and last-state."
+    """
+    window = trace.window()
+    if window is None:
+        return []
+    clipped = _clip(history, window[0], window[1])
+    union: set[Element] = set()
+    for _, value in clipped:
+        union |= value
+    problems = []
+    for inv in trace.invocations:
+        if isinstance(inv.outcome, Yielded) and inv.outcome.element not in union:
+            problems.append(
+                f"invocation #{inv.index} yielded {inv.outcome.element}, which was "
+                "never a member between the first-state and last-state"
+            )
+    return problems
+
+
+def conformance_matrix(traces: dict[str, IterationTrace],
+                       specs: Sequence[IteratorSpec],
+                       world: World) -> dict[tuple[str, str], ConformanceReport]:
+    """Check every trace against every spec: the E1 matrix."""
+    matrix = {}
+    for impl_name, trace in traces.items():
+        for spec in specs:
+            matrix[(impl_name, spec.spec_id)] = check_conformance(trace, spec, world)
+    return matrix
+
+
+def _clip(history: History, t_first: float, t_last: float) -> list[tuple[float, frozenset[Element]]]:
+    """History entries in force during [t_first, t_last]."""
+    before = [entry for entry in history if entry[0] <= t_first]
+    inside = [entry for entry in history if t_first < entry[0] <= t_last]
+    start = [before[-1]] if before else []
+    return start + inside

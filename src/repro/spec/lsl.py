@@ -1,0 +1,231 @@
+"""A small executable fragment of the Larch Shared Language Set trait.
+
+The paper's method is two-tiered (Wing's thesis, the Larch book): the
+*interface* tier specifies procedures and iterators (our
+:mod:`repro.spec.figures`), while the *shared* tier (LSL) defines the
+value space — "LSL is also used to specify a type's value space for
+objects.  … in our examples we use standard set notation for the
+functions on sets, e.g., ∪ for set union and − for set difference."
+
+This module makes the shared tier executable too: set values as terms
+over the trait's generators (``empty``, ``insert``) and operators
+(``delete``, ``union``, ``difference``, ``intersection``), an evaluator
+into Python frozensets, and the trait's equational axioms as checkable
+predicates (the property tests run them over random terms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Union
+
+__all__ = [
+    "Term", "Empty", "Insert", "Delete", "UnionOf", "DifferenceOf",
+    "IntersectionOf", "evaluate", "member", "size", "is_subset",
+    "terms_equal", "AXIOMS",
+]
+
+E = Hashable
+
+
+class Term:
+    """Base class of Set-trait terms."""
+
+    def insert(self, e: E) -> "Insert":
+        return Insert(self, e)
+
+    def delete(self, e: E) -> "Delete":
+        return Delete(self, e)
+
+    def union(self, other: "Term") -> "UnionOf":
+        return UnionOf(self, other)
+
+    def difference(self, other: "Term") -> "DifferenceOf":
+        return DifferenceOf(self, other)
+
+    def intersection(self, other: "Term") -> "IntersectionOf":
+        return IntersectionOf(self, other)
+
+
+@dataclass(frozen=True)
+class Empty(Term):
+    """The trait's generator ``empty: → Set``."""
+
+    def __str__(self) -> str:
+        return "{}"
+
+
+@dataclass(frozen=True)
+class Insert(Term):
+    """``insert: Set, E → Set``."""
+
+    base: Term
+    element: E
+
+    def __str__(self) -> str:
+        return f"insert({self.base}, {self.element!r})"
+
+
+@dataclass(frozen=True)
+class Delete(Term):
+    """``delete: Set, E → Set``."""
+
+    base: Term
+    element: E
+
+    def __str__(self) -> str:
+        return f"delete({self.base}, {self.element!r})"
+
+
+@dataclass(frozen=True)
+class UnionOf(Term):
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"({self.left} ∪ {self.right})"
+
+
+@dataclass(frozen=True)
+class DifferenceOf(Term):
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"({self.left} − {self.right})"
+
+
+@dataclass(frozen=True)
+class IntersectionOf(Term):
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"({self.left} ∩ {self.right})"
+
+
+def evaluate(term: Term) -> frozenset:
+    """Interpret a term in the standard model (Python frozensets)."""
+    if isinstance(term, Empty):
+        return frozenset()
+    if isinstance(term, Insert):
+        return evaluate(term.base) | {term.element}
+    if isinstance(term, Delete):
+        return evaluate(term.base) - {term.element}
+    if isinstance(term, UnionOf):
+        return evaluate(term.left) | evaluate(term.right)
+    if isinstance(term, DifferenceOf):
+        return evaluate(term.left) - evaluate(term.right)
+    if isinstance(term, IntersectionOf):
+        return evaluate(term.left) & evaluate(term.right)
+    raise TypeError(f"not a Set-trait term: {term!r}")
+
+
+def member(e: E, term: Term) -> bool:
+    """``∈ : E, Set → Bool`` — defined structurally, not via evaluate.
+
+    The structural definition mirrors the trait's axioms
+    (``member(e, empty) = false``; ``member(e1, insert(s, e2)) =
+    (e1 = e2) ∨ member(e1, s)``), so comparing it against the standard
+    model *is* an axiom check.
+    """
+    if isinstance(term, Empty):
+        return False
+    if isinstance(term, Insert):
+        return e == term.element or member(e, term.base)
+    if isinstance(term, Delete):
+        return e != term.element and member(e, term.base)
+    if isinstance(term, UnionOf):
+        return member(e, term.left) or member(e, term.right)
+    if isinstance(term, DifferenceOf):
+        return member(e, term.left) and not member(e, term.right)
+    if isinstance(term, IntersectionOf):
+        return member(e, term.left) and member(e, term.right)
+    raise TypeError(f"not a Set-trait term: {term!r}")
+
+
+def size(term: Term) -> int:
+    """``size: Set → Int`` — structural, duplicate-aware."""
+    if isinstance(term, Empty):
+        return 0
+    if isinstance(term, Insert):
+        return size(term.base) + (0 if member(term.element, term.base) else 1)
+    # non-generator operators: fall back to the model
+    return len(evaluate(term))
+
+
+def is_subset(a: Term, b: Term) -> bool:
+    return evaluate(a) <= evaluate(b)
+
+
+def terms_equal(a: Term, b: Term) -> bool:
+    """Equality in the trait's model: same denoted set."""
+    return evaluate(a) == evaluate(b)
+
+
+# ---------------------------------------------------------------------------
+# The trait's equational axioms, as named checkable predicates.
+# Each takes concrete terms/elements and returns True iff the equation
+# holds for them; the property tests quantify with hypothesis.
+# ---------------------------------------------------------------------------
+
+def _ax_insert_idempotent(s: Term, e: E) -> bool:
+    return terms_equal(s.insert(e).insert(e), s.insert(e))
+
+
+def _ax_insert_commutative(s: Term, e1: E, e2: E) -> bool:
+    return terms_equal(s.insert(e1).insert(e2), s.insert(e2).insert(e1))
+
+
+def _ax_member_empty(e: E) -> bool:
+    return member(e, Empty()) is False
+
+
+def _ax_member_insert(s: Term, e1: E, e2: E) -> bool:
+    return member(e1, s.insert(e2)) == ((e1 == e2) or member(e1, s))
+
+
+def _ax_delete_empty(e: E) -> bool:
+    return terms_equal(Empty().delete(e), Empty())
+
+
+def _ax_delete_insert(s: Term, e1: E, e2: E) -> bool:
+    lhs = s.insert(e2).delete(e1)
+    rhs = s.delete(e1) if e1 == e2 else s.delete(e1).insert(e2)
+    return terms_equal(lhs, rhs)
+
+
+def _ax_union_empty(s: Term) -> bool:
+    return terms_equal(s.union(Empty()), s)
+
+
+def _ax_union_insert(s1: Term, s2: Term, e: E) -> bool:
+    return terms_equal(s1.insert(e).union(s2), s1.union(s2).insert(e))
+
+
+def _ax_difference_empty(s: Term) -> bool:
+    return terms_equal(s.difference(Empty()), s)
+
+
+def _ax_size_empty() -> bool:
+    return size(Empty()) == 0
+
+
+def _ax_size_insert(s: Term, e: E) -> bool:
+    expected = size(s) + (0 if member(e, s) else 1)
+    return size(s.insert(e)) == expected
+
+
+AXIOMS = {
+    "insert-idempotent": _ax_insert_idempotent,
+    "insert-commutative": _ax_insert_commutative,
+    "member-empty": _ax_member_empty,
+    "member-insert": _ax_member_insert,
+    "delete-empty": _ax_delete_empty,
+    "delete-insert": _ax_delete_insert,
+    "union-empty": _ax_union_empty,
+    "union-insert": _ax_union_insert,
+    "difference-empty": _ax_difference_empty,
+    "size-empty": _ax_size_empty,
+    "size-insert": _ax_size_insert,
+}

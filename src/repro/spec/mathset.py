@@ -1,0 +1,97 @@
+"""Figure 1's immutable set, as a value (the LSL tier).
+
+The paper's Figure 1 specifies an *immutable* set type whose operations
+return new sets::
+
+    create = proc () returns (t: set)
+        ensures t_post = {} ∧ new(t)
+    add = proc (s: set, e: elem) returns (t: set)
+        ensures t_post = s_pre ∪ {e} ∧ new(t)
+    remove = proc (e: elem, s: set) returns (t: set)
+        ensures t_post = s_pre − {e} ∧ new(t)
+    size = proc (s: set) returns (i: int)
+        ensures i = |s_pre|
+    elements = iter (s: set) yields (e: elem)
+
+:class:`FunctionalSet` implements exactly these post-conditions:
+operations never mutate their receiver (``new(t)`` — a fresh object is
+returned), and ``elements()`` yields each element exactly once.  It
+serves as the reference model the property-based tests compare every
+weak-set implementation's *sequential, failure-free* behaviour against.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterable, Iterator, TypeVar
+
+__all__ = ["FunctionalSet"]
+
+E = TypeVar("E", bound=Hashable)
+
+
+class FunctionalSet(Generic[E]):
+    """An immutable set value with Figure 1's operations."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[E] = ()):
+        object.__setattr__(self, "_items", frozenset(items))
+
+    # -- Figure 1 operations -----------------------------------------------
+    @classmethod
+    def create(cls) -> "FunctionalSet[E]":
+        """``ensures t_post = {} ∧ new(t)``"""
+        return cls()
+
+    def add(self, e: E) -> "FunctionalSet[E]":
+        """``ensures t_post = s_pre ∪ {e} ∧ new(t)``"""
+        return FunctionalSet(self._items | {e})
+
+    def remove(self, e: E) -> "FunctionalSet[E]":
+        """``ensures t_post = s_pre − {e} ∧ new(t)``
+
+        Removing an absent element is a no-op returning an equal (but
+        new) set, exactly as ``s_pre − {e}`` evaluates.
+        """
+        return FunctionalSet(self._items - {e})
+
+    def size(self) -> int:
+        """``ensures i = |s_pre|``"""
+        return len(self._items)
+
+    def elements(self) -> Iterator[E]:
+        """Figure 1's iterator, sequential and failure-free.
+
+        Yields every element of ``s_first`` exactly once, in an
+        unspecified (here: sorted-by-repr, hence deterministic) order.
+        """
+        yielded: set[E] = set()
+        for e in sorted(self._items, key=repr):
+            assert e not in yielded  # the `remembers yielded` invariant
+            yielded.add(e)
+            yield e
+
+    # -- value behaviour ------------------------------------------------------
+    def members(self) -> frozenset[E]:
+        return self._items
+
+    def __contains__(self, e: object) -> bool:
+        return e in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[E]:
+        return self.elements()
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FunctionalSet):
+            return self._items == other._items
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("FunctionalSet", self._items))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(e) for e in sorted(self._items, key=repr))
+        return f"FunctionalSet({{{inner}}})"

@@ -1,0 +1,51 @@
+"""Counterexample minimization.
+
+A violating trace from a long fuzz run can carry hundreds of
+invocations; the violation usually needs only a few.  Because a trace's
+checkability is prefix-closed in structure (every prefix is itself a
+well-formed trace), the minimal *prefix* that still violates is a sound
+and simple reduction — and usually all a human needs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..store.elements import Element
+from .checker import check_conformance
+from .iterspec import IteratorSpec
+from .trace import IterationTrace
+
+__all__ = ["prefix_of", "minimal_violating_prefix"]
+
+History = Sequence[tuple[float, frozenset[Element]]]
+
+
+def prefix_of(trace: IterationTrace, length: int) -> IterationTrace:
+    """A new trace holding the first ``length`` invocations."""
+    clipped = IterationTrace(
+        coll_id=trace.coll_id, client=trace.client, impl_name=trace.impl_name,
+    )
+    clipped.invocations = list(trace.invocations[:length])
+    clipped.first_candidates = trace.first_candidates
+    return clipped
+
+
+def minimal_violating_prefix(trace: IterationTrace, spec: IteratorSpec,
+                             history: History) -> Optional[IterationTrace]:
+    """The shortest prefix of ``trace`` that still violates ``spec``.
+
+    Returns None if the full trace conforms.  Binary search is unsound
+    here (violations need not be monotone in prefix length when the
+    constraint clause windows over [first, last]), so this walks
+    linearly — traces are short enough that it does not matter.
+    """
+    full = check_conformance(trace, spec, history=history)
+    if full.conformant:
+        return None
+    for length in range(1, len(trace.invocations) + 1):
+        candidate = prefix_of(trace, length)
+        report = check_conformance(candidate, spec, history=history)
+        if not report.conformant:
+            return candidate
+    return trace  # pragma: no cover - full trace violates, loop must hit

@@ -1,0 +1,96 @@
+"""Render figure specifications back into the paper's notation.
+
+Mostly for humans: ``print(render_spec(spec_by_id("fig5")))`` produces
+the Larch-style block of the corresponding figure, reconstructed from
+the executable spec's structure (constraint, membership basis, failure
+signal, branch conditions).  The round-trip is a useful sanity check
+that the transcription in :mod:`repro.spec.figures` still *says* what
+the paper says.
+"""
+
+from __future__ import annotations
+
+from .constraints import (
+    GrowOnlyConstraint,
+    ImmutableConstraint,
+    TrivialConstraint,
+)
+from .figures import (
+    Figure1ImmutableNoFailures,
+    Figure5GrowOnlyPessimistic,
+    Figure6OptimisticDynamic,
+)
+from .iterspec import IteratorSpec
+
+__all__ = ["render_spec", "render_all"]
+
+
+def _constraint_line(spec: IteratorSpec) -> str:
+    return f"constraint {spec.constraint.formula}"
+
+
+def _signature(spec: IteratorSpec) -> str:
+    signals = "" if not spec.allows_failure else " signals (failure)"
+    return f"elements = iter (s: set) yields (e: elem){signals}"
+
+
+def _basis(spec: IteratorSpec) -> str:
+    return "s_first" if spec.membership_basis == "first" else "s_pre"
+
+
+def _ensures_lines(spec: IteratorSpec) -> list[str]:
+    s = _basis(spec)
+    if isinstance(spec, Figure1ImmutableNoFailures):
+        return [
+            f"ensures if yielded_pre ⊊ {s}",
+            f"        then yielded_post − yielded_pre = {{e}}",
+            f"             ∧ yielded_post ⊆ {s}",
+            f"             ∧ e ∈ {s} − yielded_pre ∧ suspends",
+            f"        else returns   % yielded_pre = {s}",
+        ]
+    if isinstance(spec, Figure6OptimisticDynamic):
+        return [
+            f"ensures if ∃ e ∈ {s} : e ∉ yielded_pre",
+            f"        then yielded_post − yielded_pre = {{e}}",
+            f"             ∧ e ∈ reachable({s}) ∧ suspends",
+            f"        else returns",
+        ]
+    if isinstance(spec, Figure5GrowOnlyPessimistic):
+        return [
+            f"ensures if yielded_pre ⊊ reachable({s})",
+            f"        then yielded_post − yielded_pre = {{e}}",
+            f"             ∧ yielded_post ⊆ {s}",
+            f"             ∧ e ∈ reachable({s}) ∧ suspends",
+            f"        else if yielded_pre = {s} then returns",
+            f"        else fails",
+        ]
+    # Figures 3 and 4 share the clause
+    return [
+        f"ensures if yielded_pre ⊊ reachable({s})",
+        f"        then yielded_post − yielded_pre = {{e}}",
+        f"             ∧ yielded_post ⊆ {s}",
+        f"             ∧ e ∈ reachable({s}) ∧ suspends",
+        f"        else if yielded_pre = reachable({s})",
+        f"                ∧ yielded_pre ⊊ {s}",
+        f"        then fails",
+        f"        else returns   % yielded_pre = {s}",
+    ]
+
+
+def render_spec(spec: IteratorSpec) -> str:
+    """The paper-style text of one figure specification."""
+    lines = [
+        f"% {spec.paper_figure}: {spec.title}",
+        _constraint_line(spec),
+        _signature(spec),
+        "  remembers yielded: set initially {}",
+    ]
+    lines.extend(f"  {line}" for line in _ensures_lines(spec))
+    return "\n".join(lines)
+
+
+def render_all() -> str:
+    """All five figures, paper order."""
+    from .figures import ALL_FIGURES
+
+    return "\n\n".join(render_spec(spec) for spec in ALL_FIGURES)

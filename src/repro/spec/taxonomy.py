@@ -1,0 +1,68 @@
+"""Garcia-Molina & Wiederhold's query taxonomy, applied to the figures.
+
+Section 4: "They use two dimensions for classification … Consistency is
+the degree to which application constraints on data can be satisfied
+while currency is concerned with the version of the data returned by
+the query.  In our terminology, set membership corresponds to
+consistency and mutability to currency.  The specification in Figure 3
+corresponds to a strong consistency (serializable), first-vintage
+query; the one in Figure 4, to weak consistency, first-vintage.  The
+other two are both no consistency, first-bound under their taxonomy."
+
+:func:`classify` derives the classification *from spec structure* (the
+constraint clause and the membership basis), not from a lookup table,
+so it doubles as a consistency check of our transcriptions: experiment
+E8 asserts the derived classifications match the paper's prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .constraints import GrowOnlyConstraint, ImmutableConstraint, TrivialConstraint
+from .figures import ALL_FIGURES
+from .iterspec import IteratorSpec
+
+__all__ = ["Classification", "classify", "taxonomy_table"]
+
+
+@dataclass(frozen=True)
+class Classification:
+    """A (consistency, currency) cell of the Garcia-Molina taxonomy."""
+
+    consistency: str   # "strong (serializable)" | "weak" | "none"
+    currency: str      # "first-vintage" | "first-bound"
+
+    def __str__(self) -> str:
+        return f"{self.consistency} consistency, {self.currency}"
+
+
+def classify(spec: IteratorSpec) -> Classification:
+    """Derive the taxonomy cell from the spec's structure.
+
+    * Currency ("the version of the data returned"): a spec whose
+      ensures clause reads ``s_first`` returns data of the first-state's
+      vintage (**first-vintage**); one that reads ``s_pre`` returns data
+      at least as current as the first state (**first-bound**).
+    * Consistency ("degree to which constraints on data are satisfied",
+      i.e. how faithfully the yielded set matches a single set value):
+      an immutable constraint makes the run serializable (**strong**); a
+      trivial/grow-only constraint with a first-state basis still yields
+      one coherent snapshot (**weak**); a mutable basis makes no
+      promise relating the yields to any one value (**none**).
+    """
+    if spec.membership_basis == "first":
+        currency = "first-vintage"
+        if isinstance(spec.constraint, ImmutableConstraint):
+            consistency = "strong (serializable)"
+        else:
+            consistency = "weak"
+    else:
+        currency = "first-bound"
+        consistency = "none"
+    return Classification(consistency, currency)
+
+
+def taxonomy_table() -> list[tuple[str, str, Classification]]:
+    """(spec_id, figure, classification) for every figure spec."""
+    return [(spec.spec_id, spec.paper_figure, classify(spec)) for spec in ALL_FIGURES]

@@ -1,0 +1,66 @@
+"""Termination conditions of an iterator invocation.
+
+The paper's model: "We assume a special object in the state called
+``terminates`` whose value ranges over normal and exceptional
+termination conditions."  For one invocation of the ``elements``
+iterator the possibilities are:
+
+* **suspends** — the iterator yielded an element back to the caller and
+  can be resumed (:class:`Yielded`);
+* **returns** — the iterator terminated normally (:class:`Returned`);
+* **fails** — the iterator terminated with the special ``failure``
+  exception (:class:`Failed`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+from ..store.elements import Element
+
+__all__ = ["Yielded", "Returned", "Failed", "Outcome"]
+
+
+@dataclass(frozen=True)
+class Yielded:
+    """The invocation suspended, yielding ``element`` (paper: suspends)."""
+
+    element: Element
+    value: Any = None
+
+    @property
+    def suspends(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"suspends(yield {self.element})"
+
+
+@dataclass(frozen=True)
+class Returned:
+    """The iterator terminated normally (paper: returns)."""
+
+    @property
+    def suspends(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "returns"
+
+
+@dataclass(frozen=True)
+class Failed:
+    """The iterator terminated with the ``failure`` exception (paper: fails)."""
+
+    reason: str = "failure"
+
+    @property
+    def suspends(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"fails({self.reason})"
+
+
+Outcome = Union[Yielded, Returned, Failed]

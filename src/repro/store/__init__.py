@@ -1,0 +1,32 @@
+"""Distributed object repository.
+
+Models the paper's "persistent object repositories … and wide-area
+information systems": object servers on every node, collections whose
+members are scattered across nodes (the Figure 2 containment model),
+lazily synchronized replicas, client caches, and the ground-truth
+``reachable`` function.  See DESIGN.md §2.
+"""
+
+from .cache import ClientCache
+from .elements import Element, ObjectId, StoredObject, fresh_oid
+from .reachability import Figure2, figure2_world
+from .repository import MembershipView, Repository
+from .server import CollectionState, ObjectServer, POLICIES
+from .world import CollectionInfo, World
+
+__all__ = [
+    "ClientCache",
+    "CollectionInfo",
+    "CollectionState",
+    "Element",
+    "Figure2",
+    "MembershipView",
+    "ObjectId",
+    "ObjectServer",
+    "POLICIES",
+    "Repository",
+    "StoredObject",
+    "World",
+    "figure2_world",
+    "fresh_oid",
+]

@@ -1,0 +1,60 @@
+"""Elements, object identifiers, and stored objects.
+
+The value of a weak set (the paper's ``s_σ``) is a frozenset of
+:class:`Element` descriptors.  Each element names a data object that
+lives on a *home node*; following the paper's Figure 2, the element is
+"contained in" the collection as part of its value, while its data is a
+separate object that may or may not be *reachable*.
+
+Element identity is (name, oid): re-adding a removed name creates a new
+oid and therefore a distinct element, which is how the paper suggests
+modelling item mutation ("the deletion of an old item from the set
+followed by the addition of a new item").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..net.address import NodeId
+
+__all__ = ["ObjectId", "Element", "StoredObject", "fresh_oid"]
+
+ObjectId = str
+
+_oid_counter = itertools.count(1)
+
+
+def fresh_oid(prefix: str = "obj") -> ObjectId:
+    """Globally unique object identifier."""
+    return f"{prefix}-{next(_oid_counter)}"
+
+
+@dataclass(frozen=True, order=True)
+class Element:
+    """A member descriptor: what the ``elements`` iterator yields."""
+
+    name: str
+    oid: ObjectId
+    home: NodeId
+
+    def __str__(self) -> str:
+        return f"{self.name}@{self.home}"
+
+
+@dataclass
+class StoredObject:
+    """A data object stored on an object server."""
+
+    oid: ObjectId
+    value: Any
+    size: int = 0
+    version: int = 1
+    created_at: float = 0.0
+    deleted: bool = False
+
+    def __repr__(self) -> str:
+        flag = " DELETED" if self.deleted else ""
+        return f"StoredObject({self.oid}, v{self.version}, {self.size}B{flag})"

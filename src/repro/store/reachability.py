@@ -1,0 +1,61 @@
+"""Reachability: the paper's Figure 2, executable.
+
+"For a collection object, x, we will assume a function reachable(x)
+which determines the set of objects contained in x that are accessible
+in state σ.  For example, in Figure 2, reachable(a_σ) = {α, β, γ}.  If a
+is on node N and α, β, and γ are on nodes A, B, and C, respectively, and
+there is a partition between N and C in state σ′ then
+reachable(a_σ′) = {α, β}."
+
+:func:`figure2_world` builds exactly that scenario; the test suite and
+benchmark E9 replay the paper's two observations against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.fabric import Network
+from ..net.link import FixedLatency
+from ..net.topology import full_mesh
+from ..sim.kernel import Kernel
+from .elements import Element
+from .world import World
+
+__all__ = ["Figure2", "figure2_world"]
+
+
+@dataclass
+class Figure2:
+    """Handles for the paper's Figure 2 example scenario."""
+
+    kernel: Kernel
+    net: Network
+    world: World
+    collection: str            # the array object "a", homed on node N
+    alpha: Element
+    beta: Element
+    gamma: Element
+
+    def reachable_from_n(self) -> frozenset[Element]:
+        """reachable(a_σ) as observed from node N (a's home)."""
+        return self.world.reachable_members(self.collection, "N")
+
+    def partition_n_from_c(self) -> None:
+        """Enter state σ′: N and C land in different partitions."""
+        self.net.split(["N", "A", "B"], ["C"])
+
+    def heal(self) -> None:
+        self.net.heal()
+
+
+def figure2_world(seed: int = 0) -> Figure2:
+    """Build Figure 2: array ``a`` on N containing α, β, γ on A, B, C."""
+    kernel = Kernel(seed=seed)
+    net = Network(kernel, full_mesh(["N", "A", "B", "C"], FixedLatency(0.01)))
+    world = World(net)
+    world.create_collection("a", primary="N")
+    alpha = world.seed_member("a", "alpha", value="α", home="A")
+    beta = world.seed_member("a", "beta", value="β", home="B")
+    gamma = world.seed_member("a", "gamma", value="γ", home="C")
+    return Figure2(kernel, net, world, "a", alpha, beta, gamma)

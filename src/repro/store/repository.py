@@ -1,0 +1,184 @@
+"""Client-side repository API.
+
+A :class:`Repository` is what a weak-set implementation holds: a view of
+the world *from one client node*, speaking only RPC.  It never reads
+ground truth — all its information arrives via (possibly failing,
+possibly stale) remote calls, which is precisely what makes the
+implementations honest subjects for the specification checker.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generator, Optional
+
+from ..errors import FailureException, UnreachableObjectFailure
+from ..net.address import NodeId
+from .cache import ClientCache
+from .elements import Element, fresh_oid
+from .server import ObjectServer
+from .world import World
+
+__all__ = ["Repository", "MembershipView"]
+
+_iter_tokens = itertools.count(1)
+
+
+class MembershipView:
+    """A membership snapshot as read from some host (maybe stale)."""
+
+    __slots__ = ("coll_id", "version", "members", "source", "read_at")
+
+    def __init__(self, coll_id: str, version: int, members: frozenset[Element],
+                 source: NodeId, read_at: float):
+        self.coll_id = coll_id
+        self.version = version
+        self.members = members
+        self.source = source
+        self.read_at = read_at
+
+    def __repr__(self) -> str:
+        return (f"MembershipView({self.coll_id}, v{self.version}, "
+                f"{len(self.members)} members from {self.source})")
+
+
+class Repository:
+    """RPC-only access to collections and objects from one client node."""
+
+    def __init__(self, world: World, client: NodeId,
+                 cache: Optional[ClientCache] = None,
+                 rpc_timeout: Optional[float] = None):
+        self.world = world
+        self.net = world.net
+        self.client = client
+        self.cache = cache
+        self.rpc_timeout = rpc_timeout
+
+    # ------------------------------------------------------------------
+    # host selection
+    # ------------------------------------------------------------------
+    def hosts_of(self, coll_id: str) -> tuple[NodeId, ...]:
+        """Host placement is assumed to be client-known metadata."""
+        return self.world.collection_info(coll_id).hosts
+
+    def primary_of(self, coll_id: str) -> NodeId:
+        return self.world.collection_info(coll_id).primary
+
+    def nearest_host(self, coll_id: str) -> Optional[NodeId]:
+        """The reachable host with the lowest expected latency, if any."""
+        best: Optional[NodeId] = None
+        best_latency = float("inf")
+        for host in self.hosts_of(coll_id):
+            latency = self.net.expected_latency(self.client, host)
+            if latency is not None and latency < best_latency:
+                best, best_latency = host, latency
+        return best
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def read_membership(self, coll_id: str, *, source: str = "nearest",
+                        use_cache: bool = False) -> Generator[Any, Any, MembershipView]:
+        """Read a membership snapshot.
+
+        ``source`` is ``"primary"`` (authoritative; the expensive atomic
+        snapshot Figs 4/5 require), ``"nearest"`` (any reachable replica;
+        cheap but possibly stale — the optimistic choice), or a specific
+        node name.
+        """
+        if use_cache and self.cache is not None:
+            cached = self.cache.get(("membership", coll_id), self.world.now)
+            if cached is not None:
+                return cached
+        if source == "primary":
+            host = self.primary_of(coll_id)
+        elif source == "nearest":
+            host = self.nearest_host(coll_id)
+            if host is None:
+                raise UnreachableObjectFailure(
+                    f"no host of {coll_id!r} is reachable from {self.client}"
+                )
+        else:
+            host = source
+        version, members = yield from self._call(host, "list_members", coll_id)
+        view = MembershipView(coll_id, version, frozenset(members), host, self.world.now)
+        if self.cache is not None:
+            self.cache.put(("membership", coll_id), view, self.world.now)
+        return view
+
+    def fetch(self, element: Element, *, use_cache: bool = False) -> Generator[Any, Any, Any]:
+        """Fetch an element's data object from its home node.
+
+        Raises a :class:`FailureException` if the home is unreachable and
+        :class:`~repro.errors.NoSuchObjectError` if the object has been
+        deleted (i.e., the element was removed from the collection).
+        """
+        if use_cache and self.cache is not None:
+            cached = self.cache.get(("object", element.oid), self.world.now)
+            if cached is not None:
+                return cached
+        value = yield from self._call(element.home, "get_object", element.oid)
+        if self.cache is not None:
+            self.cache.put(("object", element.oid), value, self.world.now)
+        return value
+
+    def probe(self, element: Element) -> Generator[Any, Any, bool]:
+        """Cheaply ask the element's home whether its object still exists."""
+        return (yield from self._call(element.home, "has_object", element.oid))
+
+    # ------------------------------------------------------------------
+    # writes (always through the primary)
+    # ------------------------------------------------------------------
+    def add(self, coll_id: str, name: str, value: Any = None,
+            home: Optional[NodeId] = None, size: int = 0) -> Generator[Any, Any, Element]:
+        """Create the data object at ``home``, then register membership."""
+        home = home if home is not None else self.primary_of(coll_id)
+        element = Element(name=name, oid=fresh_oid(name), home=home)
+        yield from self._call(home, "put_object", element.oid, value, size)
+        yield from self._call(self.primary_of(coll_id), "add_member", coll_id, element)
+        return element
+
+    def remove(self, coll_id: str, element: Element) -> Generator[Any, Any, None]:
+        yield from self._call(self.primary_of(coll_id), "remove_member", coll_id, element)
+
+    def replace(self, coll_id: str, element: Element, name: str,
+                value: Any = None, home: Optional[NodeId] = None,
+                size: int = 0) -> Generator[Any, Any, Element]:
+        """Item mutation, the paper's way.
+
+        "we will assume that items in the set do not change; we could
+        model this by the deletion of an old item from the set followed
+        by the addition of a new item."  Removes ``element`` then adds a
+        fresh one (new name or same-name-new-oid is up to the caller's
+        ``name``); returns the new element.
+        """
+        yield from self.remove(coll_id, element)
+        return (yield from self.add(coll_id, name, value,
+                                    home if home is not None else element.home,
+                                    size))
+
+    def seal(self, coll_id: str) -> Generator[Any, Any, None]:
+        yield from self._call(self.primary_of(coll_id), "seal_collection", coll_id)
+
+    # ------------------------------------------------------------------
+    # §3.3 iteration registration
+    # ------------------------------------------------------------------
+    def begin_iteration(self, coll_id: str) -> Generator[Any, Any, str]:
+        token = f"iter-{self.client}-{next(_iter_tokens)}"
+        yield from self._call(self.primary_of(coll_id), "begin_iteration", coll_id, token)
+        return token
+
+    def end_iteration(self, coll_id: str, token: str) -> Generator[Any, Any, int]:
+        return (yield from self._call(
+            self.primary_of(coll_id), "end_iteration", coll_id, token
+        ))
+
+    # ------------------------------------------------------------------
+    def _call(self, host: NodeId, method: str, *args: Any) -> Generator[Any, Any, Any]:
+        return (yield from self.net.call(
+            self.client, host, ObjectServer.SERVICE, method, *args,
+            timeout=self.rpc_timeout,
+        ))
+
+    def __repr__(self) -> str:
+        return f"Repository(client={self.client!r})"

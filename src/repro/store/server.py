@@ -1,0 +1,269 @@
+"""Object servers: the per-node storage service.
+
+Each node runs one :class:`ObjectServer` (service name ``"store"``).
+A server stores
+
+* **data objects** — the things elements point at (files, menus,
+  ``.face`` bitmaps, catalog entries), and
+* **collection state** — for every collection this node is the
+  *primary* or a *replica* of: the membership map and a version number.
+
+Collection membership is mutated only at the primary (replicas are
+read-only and lazily synchronized, so they can be stale — the paper's
+"one node may have more up-to-date information than another; cached data
+may be stale").  The primary also enforces the collection's *policy*,
+which is the operational face of the paper's ``constraint`` clauses:
+
+=================  ==========================================================
+``any``            grows and shrinks freely (Figs 4, 6)
+``grow-only``      remove is always rejected (Fig 5's constraint s_i ≤ s_j)
+``grow-during-run``  removes while an iteration is registered become
+                   *ghosts* — §3.3's "create copies of any deleted objects
+                   and then garbage collect these 'ghost' copies upon
+                   termination"
+``immutable``      no mutation after :meth:`seal` (Figs 1, 3)
+=================  ==========================================================
+
+Storage is durable: a crash kills in-flight handlers and makes the node
+unreachable, but objects and membership survive recovery (the servers
+model file servers, not RAM caches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from ..errors import (
+    FailureException,
+    MutationNotAllowed,
+    NoSuchCollectionError,
+    NoSuchObjectError,
+    SimulationError,
+)
+from ..net.address import NodeId
+from ..sim.events import Sleep
+from .elements import Element, ObjectId, StoredObject
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .world import World
+
+__all__ = ["ObjectServer", "CollectionState", "POLICIES"]
+
+POLICIES = ("any", "grow-only", "grow-during-run", "immutable")
+
+
+@dataclass
+class CollectionState:
+    """One collection as seen by one server (primary or replica)."""
+
+    coll_id: str
+    policy: str
+    is_primary: bool
+    members: dict[str, Element] = field(default_factory=dict)
+    ghosts: set[str] = field(default_factory=set)        # names pending removal
+    version: int = 0
+    sealed: bool = False
+    active_iterations: set[str] = field(default_factory=set)
+
+    def value(self) -> frozenset[Element]:
+        """The set's current value (ghosts are still members until purged)."""
+        return frozenset(self.members.values())
+
+    def snapshot(self) -> tuple[int, tuple[Element, ...]]:
+        return self.version, tuple(sorted(self.members.values()))
+
+
+class ObjectServer:
+    """The ``store`` service hosted on every node."""
+
+    SERVICE = "store"
+
+    def __init__(self, node_id: NodeId, world: "World"):
+        self.node_id = node_id
+        self.world = world
+        self.objects: dict[ObjectId, StoredObject] = {}
+        self.collections: dict[str, CollectionState] = {}
+
+    # ------------------------------------------------------------------
+    # data objects
+    # ------------------------------------------------------------------
+    def get_object(self, oid: ObjectId) -> Generator[Any, Any, Any]:
+        """Fetch a data object; service time grows with object size."""
+        yield Sleep(self.world.service_time + self._transfer_time(oid))
+        obj = self.objects.get(oid)
+        if obj is None or obj.deleted:
+            raise NoSuchObjectError(f"{oid} not stored on {self.node_id}")
+        return obj.value
+
+    def put_object(self, oid: ObjectId, value: Any, size: int = 0) -> Generator[Any, Any, int]:
+        yield Sleep(self.world.service_time)
+        existing = self.objects.get(oid)
+        if existing is not None and not existing.deleted:
+            existing.value = value
+            existing.size = size
+            existing.version += 1
+            return existing.version
+        self.objects[oid] = StoredObject(
+            oid=oid, value=value, size=size, created_at=self.world.now
+        )
+        return 1
+
+    def delete_object(self, oid: ObjectId) -> Generator[Any, Any, bool]:
+        """Tombstone an object; fetching it afterwards is NoSuchObjectError."""
+        yield Sleep(self.world.service_time)
+        obj = self.objects.get(oid)
+        if obj is None or obj.deleted:
+            return False
+        obj.deleted = True
+        return True
+
+    def has_object(self, oid: ObjectId) -> bool:
+        obj = self.objects.get(oid)
+        return obj is not None and not obj.deleted
+
+    def _transfer_time(self, oid: ObjectId) -> float:
+        obj = self.objects.get(oid)
+        if obj is None or self.world.bandwidth <= 0:
+            return 0.0
+        return obj.size / self.world.bandwidth
+
+    # ------------------------------------------------------------------
+    # collections: reads (primary or replica)
+    # ------------------------------------------------------------------
+    def list_members(self, coll_id: str) -> Generator[Any, Any, tuple[int, tuple[Element, ...]]]:
+        """Membership snapshot as (version, members); may be stale here."""
+        yield Sleep(self.world.service_time)
+        return self._coll(coll_id).snapshot()
+
+    def collection_version(self, coll_id: str) -> int:
+        return self._coll(coll_id).version
+
+    # ------------------------------------------------------------------
+    # collections: mutation (primary only)
+    # ------------------------------------------------------------------
+    def add_member(self, coll_id: str, element: Element) -> Generator[Any, Any, int]:
+        yield Sleep(self.world.service_time)
+        state = self._primary(coll_id)
+        if state.sealed:
+            raise MutationNotAllowed(f"{coll_id} is sealed (immutable)")
+        if element.name in state.members:
+            existing = state.members[element.name]
+            if existing == element:
+                return state.version  # idempotent re-add
+            raise MutationNotAllowed(
+                f"{coll_id} already has a member named {element.name!r}"
+            )
+        state.members[element.name] = element
+        state.version += 1
+        self.world._membership_changed(coll_id)
+        return state.version
+
+    def remove_member(self, coll_id: str, element: Element) -> Generator[Any, Any, int]:
+        """Remove a member (policy permitting).
+
+        The member's *data object* is deleted at its home first, then the
+        membership entry is dropped, so "object exists at its home"
+        implies "still a member" — the invariant the optimistic iterator
+        relies on to avoid yielding elements stale replicas still list.
+        """
+        yield Sleep(self.world.service_time)
+        state = self._primary(coll_id)
+        if state.policy == "grow-only":
+            raise MutationNotAllowed(f"{coll_id} is grow-only; remove rejected")
+        if state.sealed or state.policy == "immutable":
+            raise MutationNotAllowed(f"{coll_id} is immutable; remove rejected")
+        current = state.members.get(element.name)
+        if current is None or current != element:
+            return state.version  # already gone: removal is idempotent
+        if state.policy == "grow-during-run" and state.active_iterations:
+            # §3.3 ghost protocol: defer the removal until no iteration
+            # is in progress; the member remains visible (the set only
+            # grows during a run).
+            state.ghosts.add(element.name)
+            return state.version
+        yield from self._erase_member(state, element)
+        return state.version
+
+    def _erase_member(self, state: CollectionState, element: Element) -> Generator:
+        # Delete the data object first (possibly a remote call).  If the
+        # member's home is unreachable from the primary, the failure
+        # propagates and the membership is left intact.
+        if element.home == self.node_id:
+            yield from self.delete_object(element.oid)
+        else:
+            yield from self.world.net.call(
+                self.node_id, element.home, self.SERVICE, "delete_object", element.oid
+            )
+        state.members.pop(element.name, None)
+        state.ghosts.discard(element.name)
+        state.version += 1
+        self.world._membership_changed(state.coll_id)
+
+    def seal_collection(self, coll_id: str) -> Generator[Any, Any, None]:
+        """Freeze an ``immutable`` collection after initial population."""
+        yield Sleep(self.world.service_time)
+        self._primary(coll_id).sealed = True
+
+    # ------------------------------------------------------------------
+    # §3.3 iteration registration (ghost protocol)
+    # ------------------------------------------------------------------
+    def begin_iteration(self, coll_id: str, token: str) -> Generator[Any, Any, None]:
+        yield Sleep(self.world.service_time)
+        self._primary(coll_id).active_iterations.add(token)
+
+    def end_iteration(self, coll_id: str, token: str) -> Generator[Any, Any, int]:
+        """Deregister an iteration; purge ghosts when the last one ends."""
+        yield Sleep(self.world.service_time)
+        state = self._primary(coll_id)
+        state.active_iterations.discard(token)
+        purged = 0
+        if not state.active_iterations and state.ghosts:
+            for name in sorted(state.ghosts):
+                element = state.members.get(name)
+                if element is None:
+                    continue
+                try:
+                    yield from self._erase_member(state, element)
+                    purged += 1
+                except FailureException:
+                    # The ghost's home is unreachable right now; leave it
+                    # pending — a later end_iteration will retry the purge.
+                    continue
+        return purged
+
+    # ------------------------------------------------------------------
+    # registration plumbing (called by World, not over RPC)
+    # ------------------------------------------------------------------
+    def host_collection(self, coll_id: str, policy: str, is_primary: bool) -> CollectionState:
+        if policy not in POLICIES:
+            raise SimulationError(f"unknown policy {policy!r}; pick one of {POLICIES}")
+        if coll_id in self.collections:
+            raise SimulationError(f"{self.node_id} already hosts {coll_id!r}")
+        state = CollectionState(coll_id=coll_id, policy=policy, is_primary=is_primary)
+        self.collections[coll_id] = state
+        return state
+
+    def store_direct(self, element: Element, value: Any, size: int = 0) -> None:
+        """God-mode seeding used during world setup (no RPC cost)."""
+        self.objects[element.oid] = StoredObject(
+            oid=element.oid, value=value, size=size, created_at=self.world.now
+        )
+
+    def _coll(self, coll_id: str) -> CollectionState:
+        state = self.collections.get(coll_id)
+        if state is None:
+            raise NoSuchCollectionError(f"{coll_id!r} not hosted on {self.node_id}")
+        return state
+
+    def _primary(self, coll_id: str) -> CollectionState:
+        state = self._coll(coll_id)
+        if not state.is_primary:
+            raise SimulationError(
+                f"{self.node_id} is a replica of {coll_id!r}; mutations go to the primary"
+            )
+        return state
+
+    def __repr__(self) -> str:
+        return (f"ObjectServer({self.node_id}, objects={len(self.objects)}, "
+                f"collections={sorted(self.collections)})")

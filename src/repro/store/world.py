@@ -1,0 +1,279 @@
+"""The :class:`World`: a simulated wide-area information system.
+
+A ``World`` wires an object server onto every node of a
+:class:`~repro.net.Network`, manages distributed collections (primary +
+lazily synchronized replicas), and — crucially for the reproduction —
+exposes the **ground truth** the specification checker needs:
+
+* ``true_members(coll)`` — the set's value ``s_σ`` *right now*
+  (authoritative: the primary's membership, which survives crashes);
+* ``reachable_members(coll, observer)`` — the paper's
+  ``reachable(s_σ)`` evaluated for a particular observing client;
+* ``on_change(cb)`` — fires on every membership or connectivity change,
+  so the checker can re-sample state exactly when the computation's
+  state sequence σ₀ S₁ σ₁ … advances;
+* ``membership_history(coll)`` — the full value history, used to check
+  ``constraint`` clauses and Fig 6's "in the set at some state between
+  the first-state and last-state" guarantee.
+
+Implementations of weak sets never touch ground truth; they go through
+RPC (:class:`~repro.store.repository.Repository`) like honest clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import NoSuchCollectionError, SimulationError
+from ..net.address import NodeId
+from ..net.fabric import Network
+from ..sim.events import Sleep
+from .elements import Element, fresh_oid
+from .server import ObjectServer
+
+__all__ = ["World", "CollectionInfo"]
+
+
+@dataclass
+class CollectionInfo:
+    """World-level record of one distributed collection."""
+
+    coll_id: str
+    primary: NodeId
+    replicas: tuple[NodeId, ...]
+    policy: str
+    history: list[tuple[float, frozenset[Element]]] = field(default_factory=list)
+
+    @property
+    def hosts(self) -> tuple[NodeId, ...]:
+        return (self.primary,) + self.replicas
+
+
+class World:
+    """Object servers + collections + ground truth over one network."""
+
+    def __init__(self, net: Network, *, service_time: float = 0.002,
+                 bandwidth: float = 10_000_000.0, replica_lag: float = 0.5):
+        """
+        Args:
+            net: the simulated network to install servers on.
+            service_time: per-request server-side processing delay.
+            bandwidth: bytes/second for object transfers (0 = infinite).
+            replica_lag: anti-entropy period for collection replicas;
+                bounds how stale a reachable replica can be while the
+                primary is reachable.
+        """
+        self.net = net
+        self.kernel = net.kernel
+        self.service_time = service_time
+        self.bandwidth = bandwidth
+        self.replica_lag = replica_lag
+        self.servers: dict[NodeId, ObjectServer] = {}
+        self.collections: dict[str, CollectionInfo] = {}
+        self._listeners: list[Callable[[], None]] = []
+        for node in sorted(net.nodes):
+            server = ObjectServer(node, self)
+            self.servers[node] = server
+            net.register_service(node, ObjectServer.SERVICE, server)
+        net.on_connectivity_change(self._notify)
+
+    @property
+    def now(self) -> float:
+        return self.kernel.now
+
+    # ------------------------------------------------------------------
+    # collection management
+    # ------------------------------------------------------------------
+    def create_collection(self, coll_id: str, primary: NodeId,
+                          replicas: Iterable[NodeId] = (),
+                          policy: str = "any") -> CollectionInfo:
+        """Create an empty collection with a primary and optional replicas."""
+        if coll_id in self.collections:
+            raise SimulationError(f"collection {coll_id!r} already exists")
+        replicas = tuple(replicas)
+        if primary in replicas:
+            raise SimulationError("primary must not also be listed as a replica")
+        self.servers[primary].host_collection(coll_id, policy, is_primary=True)
+        for node in replicas:
+            self.servers[node].host_collection(coll_id, policy, is_primary=False)
+        info = CollectionInfo(coll_id, primary, replicas, policy)
+        info.history.append((self.now, frozenset()))
+        self.collections[coll_id] = info
+        if replicas:
+            self.kernel.spawn(
+                self._anti_entropy(info), name=f"sync:{coll_id}", daemon=True
+            )
+        return info
+
+    def seed_member(self, coll_id: str, name: str, value: Any = None,
+                    home: Optional[NodeId] = None, size: int = 0) -> Element:
+        """Instantly create a member during setup (no RPC cost).
+
+        The data object is stored at ``home`` (default: the primary) and
+        the membership is registered at the primary and pushed to all
+        replicas, so the world starts consistent.
+        """
+        info = self._info(coll_id)
+        home = home if home is not None else info.primary
+        element = Element(name=name, oid=fresh_oid(name), home=home)
+        self.servers[home].store_direct(element, value, size)
+        primary_state = self.servers[info.primary].collections[coll_id]
+        if name in primary_state.members:
+            raise SimulationError(f"{coll_id} already has member {name!r}")
+        primary_state.members[name] = element
+        primary_state.version += 1
+        for node in info.replicas:
+            replica_state = self.servers[node].collections[coll_id]
+            replica_state.members[name] = element
+            replica_state.version = primary_state.version
+        self._membership_changed(coll_id)
+        return element
+
+    def seal(self, coll_id: str) -> None:
+        """Instantly seal an immutable collection after seeding."""
+        info = self._info(coll_id)
+        for node in info.hosts:
+            self.servers[node].collections[coll_id].sealed = True
+
+    # ------------------------------------------------------------------
+    # ground truth (the checker's God's-eye view; not used by clients)
+    # ------------------------------------------------------------------
+    def true_members(self, coll_id: str) -> frozenset[Element]:
+        """The paper's s_σ for the current state σ."""
+        info = self._info(coll_id)
+        return self.servers[info.primary].collections[coll_id].value()
+
+    def reachable_members(self, coll_id: str, observer: NodeId) -> frozenset[Element]:
+        """The paper's reachable(s_σ): members whose home ``observer`` can reach."""
+        return self.reachable_of(self.true_members(coll_id), observer)
+
+    def reachable_of(self, members: frozenset[Element], observer: NodeId) -> frozenset[Element]:
+        """Reachability filter applied to an arbitrary member set."""
+        if not self.net.node(observer).up:
+            return frozenset()
+        return frozenset(
+            e for e in members
+            if e.home == observer or self.net.can_reach(observer, e.home)
+        )
+
+    def membership_history(self, coll_id: str) -> list[tuple[float, frozenset[Element]]]:
+        return list(self._info(coll_id).history)
+
+    def collection_info(self, coll_id: str) -> CollectionInfo:
+        return self._info(coll_id)
+
+    # ------------------------------------------------------------------
+    # change notification
+    # ------------------------------------------------------------------
+    def on_change(self, callback: Callable[[], None]) -> Callable[[], None]:
+        """Subscribe to membership/connectivity changes; returns unsubscribe."""
+        self._listeners.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def _membership_changed(self, coll_id: str) -> None:
+        info = self._info(coll_id)
+        value = self.servers[info.primary].collections[coll_id].value()
+        if not info.history or info.history[-1][1] != value:
+            info.history.append((self.now, value))
+        self._notify()
+
+    def _notify(self) -> None:
+        for callback in list(self._listeners):
+            callback()
+
+    # ------------------------------------------------------------------
+    # replication
+    # ------------------------------------------------------------------
+    def _anti_entropy(self, info: CollectionInfo) -> Generator:
+        """Periodically push primary state to every reachable replica.
+
+        Propagation is modelled as a bulk state copy (no per-member
+        message cost): the point is the *lag* and its interaction with
+        partitions, not the wire format.  Replicas cut off from the
+        primary keep serving their last synchronized (stale) state.
+        """
+        while True:
+            yield Sleep(self.replica_lag)
+            primary_node = self.net.node(info.primary)
+            if not primary_node.up:
+                continue
+            primary_state = self.servers[info.primary].collections[info.coll_id]
+            for node in info.replicas:
+                if not self.net.node(node).up:
+                    continue
+                if not self.net.can_reach(info.primary, node):
+                    continue
+                replica_state = self.servers[node].collections[info.coll_id]
+                if replica_state.version != primary_state.version:
+                    replica_state.members = dict(primary_state.members)
+                    replica_state.ghosts = set(primary_state.ghosts)
+                    replica_state.version = primary_state.version
+                replica_state.sealed = primary_state.sealed
+
+    # ------------------------------------------------------------------
+    # invariant checking (used by the test suite's soak runs)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> list[str]:
+        """Cross-component invariants that must hold at quiescence.
+
+        Returns human-readable problem descriptions (empty = healthy).
+        "Quiescence" means no mutation RPC is mid-flight: during a
+        remove, the object is tombstoned one step before the membership
+        entry goes, so invariant 1 is momentarily violated by design.
+        """
+        problems: list[str] = []
+        for coll_id, info in self.collections.items():
+            primary_state = self.servers[info.primary].collections[coll_id]
+            # 1. every member's data object exists at its home
+            for name, element in primary_state.members.items():
+                server = self.servers.get(element.home)
+                if server is None or not server.has_object(element.oid):
+                    problems.append(
+                        f"{coll_id}: member {element} has no live object at its home")
+            # 2. ghosts are pending members
+            for ghost_name in primary_state.ghosts:
+                if ghost_name not in primary_state.members:
+                    problems.append(
+                        f"{coll_id}: ghost {ghost_name!r} is not a member")
+            # 3. replicas never run ahead of the primary; an up-to-date
+            #    replica agrees exactly
+            for node in info.replicas:
+                replica_state = self.servers[node].collections[coll_id]
+                if replica_state.version > primary_state.version:
+                    problems.append(
+                        f"{coll_id}: replica {node} at v{replica_state.version} "
+                        f"is ahead of primary v{primary_state.version}")
+                elif (replica_state.version == primary_state.version
+                      and replica_state.members != primary_state.members):
+                    problems.append(
+                        f"{coll_id}: replica {node} disagrees with primary "
+                        "at the same version")
+            # 4. the recorded history ends at the current truth
+            if info.history and info.history[-1][1] != primary_state.value():
+                problems.append(
+                    f"{coll_id}: membership history is stale")
+        return problems
+
+    # ------------------------------------------------------------------
+    def server(self, node: NodeId) -> ObjectServer:
+        try:
+            return self.servers[node]
+        except KeyError:
+            raise SimulationError(f"no server on node {node!r}") from None
+
+    def _info(self, coll_id: str) -> CollectionInfo:
+        info = self.collections.get(coll_id)
+        if info is None:
+            raise NoSuchCollectionError(f"unknown collection {coll_id!r}")
+        return info
+
+    def __repr__(self) -> str:
+        return f"World(nodes={len(self.servers)}, collections={sorted(self.collections)})"

@@ -1,0 +1,32 @@
+"""The paper's motivating wide-area workloads (§1).
+
+Three concrete scenarios — WWW ``.face`` files, the library information
+system, and Pittsburgh restaurant menus — plus the generic scenario
+builder and background mutator they share.
+"""
+
+from .library import CatalogEntry, LibraryWorkload, build_library
+from .mirror import CATEGORIES, MirrorWorkload, build_mirror
+from .restaurants import CUISINES, Menu, RestaurantsWorkload, build_restaurants
+from .web import FaceRecord, FacesWorkload, build_faces
+from .workload import Mutator, Scenario, ScenarioSpec, build_scenario
+
+__all__ = [
+    "CATEGORIES",
+    "CUISINES",
+    "CatalogEntry",
+    "FaceRecord",
+    "FacesWorkload",
+    "LibraryWorkload",
+    "Menu",
+    "MirrorWorkload",
+    "Mutator",
+    "RestaurantsWorkload",
+    "Scenario",
+    "ScenarioSpec",
+    "build_faces",
+    "build_library",
+    "build_mirror",
+    "build_restaurants",
+    "build_scenario",
+]

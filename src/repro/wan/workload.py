@@ -1,0 +1,184 @@
+"""Generic wide-area workload construction.
+
+The paper's argument rests on three workload properties: objects are
+*scattered* over many organizations, some far away; membership
+*mutates rarely* ("Elements in the set change infrequently"); and
+*failures are common*.  :func:`build_scenario` builds worlds with those
+properties as dials, and :class:`Mutator` / the fault plans turn the
+other two.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from ..net.address import NodeId
+from ..net.fabric import Network
+from ..net.failures import FaultInjector, FaultPlan
+from ..net.link import FixedLatency, ParetoLatency
+from ..net.topology import wan_clusters
+from ..sim.events import Sleep
+from ..sim.kernel import Kernel
+from ..store.repository import Repository
+from ..store.world import World
+
+__all__ = ["ScenarioSpec", "Scenario", "Mutator", "build_scenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Dials for a wide-area scenario."""
+
+    n_clusters: int = 4
+    cluster_size: int = 4
+    n_members: int = 40
+    member_size: int = 2048                 # bytes per object
+    placement_skew: float = 0.8             # Zipf skew over clusters
+    policy: str = "any"
+    replicas: int = 0                       # membership replicas (first nodes
+                                            # of other clusters)
+    intra_latency: float = 0.002
+    inter_latency: float = 0.080
+    heavy_tail: bool = False                # Pareto inter-cluster latency
+    service_time: float = 0.002
+    replica_lag: float = 0.5
+    fault_plan: Optional[FaultPlan] = None
+    coll_id: str = "collection"
+    fail_fast: bool = True                  # transport-layer failure signals
+    rpc_timeout: float = 5.0                # the timeout backstop
+
+    @property
+    def client(self) -> NodeId:
+        return "client"
+
+    @property
+    def primary(self) -> NodeId:
+        return "n0.0"
+
+
+@dataclass
+class Scenario:
+    """A built world, ready to run experiments against."""
+
+    spec: ScenarioSpec
+    kernel: Kernel
+    net: Network
+    world: World
+    elements: list = field(default_factory=list)
+    injector: Optional[FaultInjector] = None
+
+    @property
+    def coll_id(self) -> str:
+        return self.spec.coll_id
+
+    @property
+    def client(self) -> NodeId:
+        return self.spec.client
+
+    def repo(self, client: Optional[NodeId] = None) -> Repository:
+        return Repository(self.world, client or self.client)
+
+
+def build_scenario(spec: ScenarioSpec, seed: int = 0) -> Scenario:
+    """Deterministically build the world a spec describes.
+
+    The client joins the first cluster (its "organization"); members are
+    placed over clusters with Zipf skew — most objects nearby, a long
+    tail far away — which is what makes closest-first matter.
+    """
+    kernel = Kernel(seed=seed)
+    inter = (ParetoLatency(spec.inter_latency) if spec.heavy_tail
+             else FixedLatency(spec.inter_latency))
+    topo = wan_clusters(
+        [spec.cluster_size] * spec.n_clusters,
+        intra_latency=FixedLatency(spec.intra_latency),
+        inter_latency=inter,
+    )
+    topo.add_node(spec.client)
+    topo.add_link(spec.client, "n0.0", FixedLatency(spec.intra_latency))
+    net = Network(kernel, topo, fail_fast=spec.fail_fast,
+                  default_timeout=spec.rpc_timeout)
+    world = World(net, service_time=spec.service_time,
+                  replica_lag=spec.replica_lag)
+    replica_nodes = [f"n{c}.0" for c in range(1, 1 + spec.replicas)]
+    world.create_collection(spec.coll_id, primary=spec.primary,
+                            replicas=replica_nodes, policy=spec.policy)
+    stream = kernel.stream("workload.placement")
+    elements = []
+    for i in range(spec.n_members):
+        cluster = stream.zipf_index(spec.n_clusters, spec.placement_skew)
+        node_index = stream.randint(0, spec.cluster_size - 1)
+        home = f"n{cluster}.{node_index}"
+        elements.append(world.seed_member(
+            spec.coll_id, f"m{i:04d}", value=f"payload-{i}",
+            home=home, size=spec.member_size,
+        ))
+    if spec.policy == "immutable":
+        world.seal(spec.coll_id)
+    scenario = Scenario(spec=spec, kernel=kernel, net=net, world=world,
+                        elements=elements)
+    if spec.fault_plan is not None:
+        scenario.injector = FaultInjector(net, spec.fault_plan)
+        scenario.injector.start()
+    return scenario
+
+
+class Mutator:
+    """Background process mutating a collection at given rates.
+
+    Adds create fresh members (on random nodes); removes pick random
+    current members.  Mutations originate at the primary's node so they
+    stay possible under client-side partitions.  Failed mutations
+    (unreachable homes, policy rejections) are counted and skipped.
+    """
+
+    def __init__(self, scenario: Scenario, *, add_rate: float = 0.0,
+                 remove_rate: float = 0.0, stream_name: str = "mutator"):
+        self.scenario = scenario
+        self.add_rate = add_rate
+        self.remove_rate = remove_rate
+        self.stream = scenario.kernel.stream(stream_name)
+        self.repo = Repository(scenario.world, scenario.spec.primary)
+        self.added: list = []
+        self.removed: list = []
+        self.failures = 0
+        self._counter = itertools.count(1)
+
+    def start(self) -> None:
+        total = self.add_rate + self.remove_rate
+        if total > 0:
+            self.scenario.kernel.spawn(self._run(), name="mutator", daemon=True)
+
+    def _run(self) -> Generator:
+        from ..errors import MutationNotAllowed, StoreError, FailureException
+        spec = self.scenario.spec
+        total = self.add_rate + self.remove_rate
+        while True:
+            yield Sleep(self.stream.exponential(1.0 / total))
+            do_add = self.stream.random() * total < self.add_rate
+            try:
+                if do_add:
+                    i = next(self._counter)
+                    cluster = self.stream.zipf_index(spec.n_clusters,
+                                                     spec.placement_skew)
+                    node = f"n{cluster}.{self.stream.randint(0, spec.cluster_size - 1)}"
+                    element = yield from self.repo.add(
+                        spec.coll_id, f"added-{i:04d}",
+                        value=f"added-payload-{i}", home=node,
+                        size=spec.member_size,
+                    )
+                    self.added.append(element)
+                else:
+                    current = sorted(
+                        self.scenario.world.true_members(spec.coll_id),
+                        key=lambda e: e.name,
+                    )
+                    if not current:
+                        continue
+                    victim = current[self.stream.randint(0, len(current) - 1)]
+                    yield from self.repo.remove(spec.coll_id, victim)
+                    self.removed.append(victim)
+            except (FailureException, MutationNotAllowed, StoreError):
+                self.failures += 1

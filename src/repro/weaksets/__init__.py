@@ -1,0 +1,73 @@
+"""Weak sets: the paper's design points as working distributed programs.
+
+Every class here sees the world only through RPC (reads that may be
+stale, fetches that may fail); the God's-eye ground truth stays with
+the specification checker.  See DESIGN.md §3 for the figure-to-class
+map and :mod:`repro.weaksets.factory` for selection by name.
+"""
+
+from ..spec.termination import Failed, Outcome, Returned, Yielded
+from .base import WeakSet
+from .dynamic import DynamicIterator, DynamicSet
+from .factory import SEMANTICS, make_weak_set, policy_for, weak_set_class
+from .grow_only import (
+    GrowOnlyIterator,
+    GrowOnlySet,
+    PerRunGrowOnlyIterator,
+    PerRunGrowOnlySet,
+)
+from .immutable import (
+    Figure1Iterator,
+    Figure1Set,
+    ImmutableSet,
+    PerRunImmutableIterator,
+    PerRunImmutableSet,
+)
+from .iterator import DrainResult, ElementsIterator
+from .locking import LockClient, LockService, install_lock_service
+from .query import QueryIterator, select
+from .quorum import QuorumGrowOnlyIterator, QuorumGrowOnlySet
+from .snapshot import SnapshotIterator, SnapshotSet
+from .stabilize import StableResult, iterate_until_stable
+from .strong import StrongIterator, StrongSet
+from .union import UnionIterator, union
+
+__all__ = [
+    "DrainResult",
+    "DynamicIterator",
+    "DynamicSet",
+    "ElementsIterator",
+    "Failed",
+    "Figure1Iterator",
+    "Figure1Set",
+    "GrowOnlyIterator",
+    "GrowOnlySet",
+    "ImmutableSet",
+    "LockClient",
+    "LockService",
+    "Outcome",
+    "PerRunGrowOnlyIterator",
+    "PerRunGrowOnlySet",
+    "PerRunImmutableIterator",
+    "PerRunImmutableSet",
+    "QueryIterator",
+    "QuorumGrowOnlyIterator",
+    "QuorumGrowOnlySet",
+    "Returned",
+    "SEMANTICS",
+    "SnapshotIterator",
+    "StableResult",
+    "SnapshotSet",
+    "StrongIterator",
+    "StrongSet",
+    "UnionIterator",
+    "WeakSet",
+    "Yielded",
+    "install_lock_service",
+    "iterate_until_stable",
+    "make_weak_set",
+    "policy_for",
+    "select",
+    "union",
+    "weak_set_class",
+]

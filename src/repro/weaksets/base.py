@@ -1,0 +1,91 @@
+"""The :class:`WeakSet` facade: one client's handle on one collection.
+
+A ``WeakSet`` binds together a client node, a collection, and a choice
+of iterator semantics (one of the paper's design points).  It exposes
+the type interface of the paper's Figure 1 —
+
+    set = type create, add, remove, size, elements
+
+— where ``create`` is the constructor, ``add``/``remove``/``size`` are
+procedures (simulated sub-generators, since they involve RPC), and
+``elements`` produces a fresh :class:`~repro.weaksets.iterator.ElementsIterator`.
+
+Every iteration is recorded by default, so conformance checking is a
+one-liner afterwards::
+
+    ws = DynamicSet(world, client="laptop", coll_id="menus")
+    result = yield from ws.elements().drain()
+    report = check_conformance(ws.last_trace, spec_by_id("fig6"), world)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Type
+
+from ..net.address import NodeId
+from ..spec.trace import IterationTrace, TraceRecorder
+from ..store.cache import ClientCache
+from ..store.elements import Element
+from ..store.repository import Repository
+from ..store.world import World
+from .iterator import ElementsIterator
+
+__all__ = ["WeakSet"]
+
+
+class WeakSet:
+    """Base class for the design points; subclasses pick the iterator."""
+
+    semantics = "?"                     # spec id this implementation targets
+    iterator_cls: Type[ElementsIterator] = ElementsIterator
+    expected_policy: Optional[str] = None  # collection policy this is meant for
+
+    def __init__(self, world: World, client: NodeId, coll_id: str, *,
+                 cache: Optional[ClientCache] = None,
+                 rpc_timeout: Optional[float] = None,
+                 record: bool = True,
+                 **iterator_kwargs: Any):
+        self.world = world
+        self.client = client
+        self.coll_id = coll_id
+        self.repo = Repository(world, client, cache=cache, rpc_timeout=rpc_timeout)
+        self.record = record
+        self.iterator_kwargs = iterator_kwargs
+        self.traces: list[IterationTrace] = []
+
+    # -- Figure 1's type interface ------------------------------------------
+    def elements(self) -> ElementsIterator:
+        """Start a fresh iteration (the membership-defining operation)."""
+        recorder: Optional[TraceRecorder] = None
+        if self.record:
+            recorder = TraceRecorder(
+                self.world, self.coll_id, self.client,
+                impl_name=type(self).__name__,
+            )
+            self.traces.append(recorder.trace)
+        return self.iterator_cls(
+            self.repo, self.coll_id, recorder=recorder, **self.iterator_kwargs
+        )
+
+    def add(self, name: str, value: Any = None, home: Optional[NodeId] = None,
+            size: int = 0) -> Generator[Any, Any, Element]:
+        """``add``: register a new member (object created at its home)."""
+        return (yield from self.repo.add(self.coll_id, name, value, home, size))
+
+    def remove(self, element: Element) -> Generator[Any, Any, None]:
+        """``remove``: delete a member (policy permitting)."""
+        yield from self.repo.remove(self.coll_id, element)
+
+    def size(self) -> Generator[Any, Any, int]:
+        """``size``: |s_pre| as known by the primary."""
+        view = yield from self.repo.read_membership(self.coll_id, source="primary")
+        return len(view.members)
+
+    # -- conveniences -------------------------------------------------------
+    @property
+    def last_trace(self) -> Optional[IterationTrace]:
+        return self.traces[-1] if self.traces else None
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}({self.coll_id!r} from {self.client!r}, "
+                f"semantics={self.semantics})")

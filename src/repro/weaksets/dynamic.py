@@ -1,0 +1,156 @@
+"""Figure 6: growing and shrinking set, optimistic — **dynamic sets**.
+
+"The behavior of elements captured in our last specification is the
+weakest of the four presented in this paper. … We are currently
+implementing the weakest design … Our decision … was based on the
+desire to maximize the usability of the system while preserving good
+performance and ease of implementation."
+
+The implementation choices mirror that philosophy:
+
+* membership is read from the **nearest reachable host** (primary or
+  replica) — cheap, possibly stale;
+* candidate elements are validated by fetching from their *home*, which
+  is authoritative for existence: a stale replica may still list a
+  removed member, but its data object is tombstoned (removal deletes
+  the object before the membership entry), so the fetch comes back
+  ``NoSuchObjectError`` and the candidate is silently skipped instead of
+  being incorrectly yielded;
+* failures are handled **optimistically**: when every remaining member
+  is unreachable, the iterator does not fail — it sleeps and retries,
+  "with the expectation that in a later invocation inaccessible objects
+  will become accessible again (because the failure has been repaired
+  by that time)".  Figure 6 has no ``signals (failure)`` clause: the
+  only exits are yielding and returning.  ``give_up_after`` bounds the
+  blocking for benchmark runs that must terminate; leaving it ``None``
+  is the faithful spec behaviour.
+* before returning, the iterator double-checks with the primary when it
+  is reachable, so a stale replica view cannot cause an early return
+  that misses recent additions (which Figure 6's "∃ e ∈ s_pre" branch
+  forbids).  If the primary is unreachable the best known view decides
+  — the honest residual weakness of optimism, measured in E5.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..errors import FailureException, NoSuchObjectError
+from ..sim.events import Sleep
+from ..spec.termination import Failed, Outcome, Returned, Yielded
+from ..store.elements import Element
+from .base import WeakSet
+from .iterator import ElementsIterator
+
+__all__ = ["DynamicIterator", "DynamicSet"]
+
+
+class DynamicIterator(ElementsIterator):
+    """The optimistic iterator CMU shipped for Unix dynamic sets."""
+
+    impl_name = "dynamic"
+
+    def __init__(self, *args: Any, retry_interval: float = 0.25,
+                 give_up_after: Optional[float] = None,
+                 use_cache: bool = False, fetch_values: bool = True,
+                 **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self.retry_interval = retry_interval
+        self.give_up_after = give_up_after
+        self.use_cache = use_cache
+        self.fetch_values = fetch_values
+        self.retries = 0          # cumulative blocked retries (observability)
+
+    def _step(self) -> Generator[Any, Any, Outcome]:
+        blocked_since: Optional[float] = None
+        forced_view: Optional[frozenset[Element]] = None
+        stale_entries: set[Element] = set()
+        while True:
+            if forced_view is not None:
+                view_members, forced_view = forced_view, None
+            else:
+                view_members = yield from self._best_view()
+            remaining = view_members - self.yielded - stale_entries
+            saw_unreachable = False
+            for element in self.closest_first(remaining):
+                try:
+                    if self.fetch_values:
+                        value = yield from self.repo.fetch(element, use_cache=self.use_cache)
+                    else:
+                        exists = yield from self.repo.probe(element)
+                        if not exists:
+                            raise NoSuchObjectError(element.oid)
+                        value = None
+                    return Yielded(element, value)
+                except NoSuchObjectError:
+                    # Tombstoned at its home: the member was removed and
+                    # our view is stale.  Skip — do not yield, do not block.
+                    stale_entries.add(element)
+                except FailureException:
+                    saw_unreachable = True
+            if not saw_unreachable:
+                # Nothing unreachable: every remaining entry (if any) was
+                # stale.  Confirm emptiness against the primary before
+                # returning, in case this view missed recent additions.
+                fresh_remaining = yield from self._fresh_remaining(stale_entries)
+                if not fresh_remaining:
+                    return Returned()
+                # The primary knows members our view missed: iterate over
+                # the authoritative view next round (no extra replica read).
+                forced_view = fresh_remaining
+                continue
+            # Optimistic blocking: members exist but cannot be reached.
+            now = self.repo.world.now
+            if blocked_since is None:
+                blocked_since = now
+            if (self.give_up_after is not None
+                    and now - blocked_since >= self.give_up_after):
+                return Failed(
+                    f"gave up after blocking {self.give_up_after}s "
+                    "(give_up_after escape hatch; Figure 6 proper never fails)"
+                )
+            self.retries += 1
+            yield Sleep(self.retry_interval)
+
+    # ------------------------------------------------------------------
+    def _best_view(self) -> Generator[Any, Any, frozenset[Element]]:
+        """Membership from the nearest reachable host (optimistic read).
+
+        With no host reachable at all, optimism means *wait*, not fail:
+        retry until one comes back (bounded by ``give_up_after`` via the
+        caller's loop when it never does — modelled here as an empty
+        view plus blocking, so the outer loop's backoff applies).
+        """
+        while True:
+            try:
+                view = yield from self.repo.read_membership(
+                    self.coll_id, source="nearest", use_cache=self.use_cache)
+                return view.members
+            except FailureException:
+                if self.give_up_after is not None:
+                    # Bounded mode: surface the block to the outer loop by
+                    # raising; invoke() turns it into Failed.
+                    raise
+                self.retries += 1
+                yield Sleep(self.retry_interval)
+
+    def _fresh_remaining(self, stale_entries: set[Element]) -> Generator[Any, Any, frozenset[Element]]:
+        """Unyielded members per the primary (empty set on best effort).
+
+        An unreachable primary leaves the decision to the stale view —
+        the honest residual weakness of optimism, possibly missing very
+        recent additions.
+        """
+        try:
+            fresh = yield from self.repo.read_membership(self.coll_id, source="primary")
+        except FailureException:
+            return frozenset()
+        return fresh.members - self.yielded - stale_entries
+
+
+class DynamicSet(WeakSet):
+    """Figure 6 semantics: no consistency, first-bound — dynamic sets."""
+
+    semantics = "fig6"
+    iterator_cls = DynamicIterator
+    expected_policy = "any"

@@ -1,0 +1,117 @@
+"""Figure 5: growing-only set with pessimistic failure handling.
+
+"Unlike in the previous two specifications, each invocation uses the
+current state of s, i.e., the pre-state, not first-state.  If there are
+still elements to yield based on the remembered set and the current
+state of the set, then we choose a reachable one and yield it.  If
+there are no more elements to yield, we terminate.  Otherwise, because
+we cannot reach an element that we know is in the set, we fail."
+
+Each invocation therefore re-reads the membership from the **primary**
+(the authoritative ``s_pre``) — the recurring cost of pre-state
+semantics — and fails pessimistically as soon as every unyielded member
+is unreachable.
+
+Because "the set may grow faster than the iterator yields elements from
+it, an iterator satisfying this specification may never terminate";
+``max_yields`` on :meth:`~repro.weaksets.iterator.ElementsIterator.drain`
+is the practical escape hatch the paper alludes to ("in practice this
+behavior will not occur if objects are consumed more rapidly than they
+are produced").
+
+:class:`PerRunGrowOnlySet` is §3.3's relaxation: arbitrary mutation
+between runs, growth-only during a run, enforced by the server-side
+ghost protocol (``policy="grow-during-run"``) — "we can create copies
+of any deleted objects and then garbage collect these 'ghost' copies
+upon termination."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..errors import FailureException, NoSuchObjectError
+from ..spec.termination import Failed, Outcome, Returned, Yielded
+from .base import WeakSet
+from .iterator import ElementsIterator
+
+__all__ = ["GrowOnlyIterator", "GrowOnlySet", "PerRunGrowOnlyIterator",
+           "PerRunGrowOnlySet"]
+
+
+class GrowOnlyIterator(ElementsIterator):
+    """Pre-state iterator, pessimistic on failure."""
+
+    impl_name = "grow-only"
+
+    def __init__(self, *args: Any, fetch_values: bool = True, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self.fetch_values = fetch_values
+
+    def _step(self) -> Generator[Any, Any, Outcome]:
+        # s_pre: the authoritative current membership.  An unreachable
+        # primary is itself a failure (pessimism all the way down).
+        view = yield from self.repo.read_membership(self.coll_id, source="primary")
+        remaining = view.members - self.yielded
+        if not remaining:
+            return Returned()
+        for element in self.closest_first(remaining):
+            if not self.fetch_values:
+                return Yielded(element, None)
+            try:
+                value = yield from self.repo.fetch(element)
+                return Yielded(element, value)
+            except NoSuchObjectError:
+                # A member whose object is gone can only be a half-removed
+                # zombie (crash mid-remove); it is still a member, and its
+                # home answered, so yield its descriptor.
+                return Yielded(element, None)
+            except FailureException:
+                continue
+        return Failed(
+            f"{len(remaining)} member(s) known but unreachable (pessimistic)"
+        )
+
+
+class GrowOnlySet(WeakSet):
+    """Figure 5 semantics, for collections with ``policy="grow-only"``."""
+
+    semantics = "fig5"
+    iterator_cls = GrowOnlyIterator
+    expected_policy = "grow-only"
+
+
+class PerRunGrowOnlyIterator(GrowOnlyIterator):
+    """§3.3: registers the run so removals become ghosts until it ends."""
+
+    impl_name = "per-run-grow-only"
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self._token: Optional[str] = None
+
+    def _step(self) -> Generator[Any, Any, Outcome]:
+        if self._token is None:
+            self._token = yield from self.repo.begin_iteration(self.coll_id)
+        return (yield from super()._step())
+
+    def invoke(self) -> Generator[Any, Any, Outcome]:
+        outcome = yield from super().invoke()
+        # Deregister *after* the terminating invocation completes, so the
+        # ghost purge — the set finally shrinking — falls outside the
+        # run's [first-state, last-state] window, as §3.3 intends.
+        if self.terminated and self._token is not None:
+            token, self._token = self._token, None
+            try:
+                yield from self.repo.end_iteration(self.coll_id, token)
+            except FailureException:
+                pass  # the primary will purge when the next run ends
+        return outcome
+
+
+class PerRunGrowOnlySet(WeakSet):
+    """§3.3 semantics, for collections with ``policy="grow-during-run"``."""
+
+    semantics = "fig5"
+    iterator_cls = PerRunGrowOnlyIterator
+    expected_policy = "grow-during-run"

@@ -1,0 +1,175 @@
+"""The ``elements`` iterator protocol.
+
+The paper's iterator model: "Like a procedure an iterator is called;
+but unlike a procedure, it may suspend its state and later be resumed
+(invoked again), continuing from its suspended state. … Eventually,
+like a procedure, an iterator may terminate, returning normally or
+exceptionally."
+
+:class:`ElementsIterator` realizes that model in the simulation.  Each
+call to :meth:`invoke` is one paper-invocation: a simulated
+sub-generator that completes with exactly one
+:class:`~repro.spec.termination.Outcome` —
+
+* ``Yielded(element, value)``  (the invocation *suspends*),
+* ``Returned()``               (the iterator *returns*), or
+* ``Failed(reason)``           (the iterator *fails*).
+
+Subclasses implement :meth:`_step` — the body of one invocation — in
+terms of honest RPC via their :class:`~repro.store.repository.Repository`.
+The base class enforces the protocol (no invocation after termination,
+no duplicate yields) and drives the optional
+:class:`~repro.spec.trace.TraceRecorder` so every run can be checked
+against the figure specifications.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..errors import FailureException, IteratorProtocolError
+from ..net.address import NodeId
+from ..spec.termination import Failed, Outcome, Returned, Yielded
+from ..spec.trace import TraceRecorder
+from ..store.elements import Element
+from ..store.repository import Repository
+
+__all__ = ["ElementsIterator", "DrainResult"]
+
+
+class DrainResult:
+    """Everything :meth:`ElementsIterator.drain` observed."""
+
+    __slots__ = ("yields", "outcome", "first_yield_at", "finished_at", "started_at")
+
+    def __init__(self, yields: list[Yielded], outcome: Outcome,
+                 started_at: float, first_yield_at: Optional[float], finished_at: float):
+        self.yields = yields
+        self.outcome = outcome
+        self.started_at = started_at
+        self.first_yield_at = first_yield_at
+        self.finished_at = finished_at
+
+    @property
+    def elements(self) -> list[Element]:
+        return [y.element for y in self.yields]
+
+    @property
+    def values(self) -> list[Any]:
+        return [y.value for y in self.yields]
+
+    @property
+    def failed(self) -> bool:
+        return isinstance(self.outcome, Failed)
+
+    @property
+    def time_to_first(self) -> Optional[float]:
+        if self.first_yield_at is None:
+            return None
+        return self.first_yield_at - self.started_at
+
+    @property
+    def total_time(self) -> float:
+        return self.finished_at - self.started_at
+
+    def __repr__(self) -> str:
+        return (f"DrainResult({len(self.yields)} yields, {self.outcome}, "
+                f"{self.total_time:.3f}s)")
+
+
+class ElementsIterator:
+    """Base class: one suspended/resumable iteration over a collection."""
+
+    impl_name = "elements"
+
+    def __init__(self, repo: Repository, coll_id: str,
+                 recorder: Optional[TraceRecorder] = None):
+        self.repo = repo
+        self.coll_id = coll_id
+        self.client: NodeId = repo.client
+        self.recorder = recorder
+        self.yielded: frozenset[Element] = frozenset()
+        self.terminated = False
+        self.last_outcome: Optional[Outcome] = None
+
+    # ------------------------------------------------------------------
+    def invoke(self) -> Generator[Any, Any, Outcome]:
+        """One invocation (first call or resumption).  Sub-generator."""
+        if self.terminated:
+            raise IteratorProtocolError(
+                f"{self.impl_name} over {self.coll_id} was invoked after terminating"
+            )
+        if self.recorder is not None:
+            self.recorder.invocation_started()
+        try:
+            outcome = yield from self._step()
+        except FailureException as exc:
+            # Uncaught transport failures terminate the iterator with the
+            # paper's ``failure`` exception.
+            outcome = Failed(str(exc))
+        if isinstance(outcome, Yielded):
+            if outcome.element in self.yielded:
+                raise IteratorProtocolError(
+                    f"{self.impl_name} yielded {outcome.element} twice"
+                )
+            self.yielded = self.yielded | {outcome.element}
+        else:
+            self.terminated = True
+        self.last_outcome = outcome
+        if self.recorder is not None:
+            self.recorder.invocation_completed(outcome)
+        return outcome
+
+    def drain(self, max_yields: Optional[int] = None) -> Generator[Any, Any, DrainResult]:
+        """Invoke to termination (or ``max_yields``); gather statistics."""
+        started_at = self.repo.world.now
+        first_yield_at: Optional[float] = None
+        yields: list[Yielded] = []
+        while True:
+            outcome = yield from self.invoke()
+            if isinstance(outcome, Yielded):
+                if first_yield_at is None:
+                    first_yield_at = self.repo.world.now
+                yields.append(outcome)
+                if max_yields is not None and len(yields) >= max_yields:
+                    return DrainResult(yields, outcome, started_at,
+                                       first_yield_at, self.repo.world.now)
+            else:
+                return DrainResult(yields, outcome, started_at,
+                                   first_yield_at, self.repo.world.now)
+
+    def abandon(self) -> None:
+        """Discard the iterator without terminating it.
+
+        The caller walked away mid-iteration (closed the browser tab).
+        Detaches the trace recorder so the world stops feeding it
+        snapshots; the partial trace remains checkable as-is.
+        """
+        if self.recorder is not None:
+            self.recorder.abort()
+        self.terminated = True
+
+    # ------------------------------------------------------------------
+    def _step(self) -> Generator[Any, Any, Outcome]:
+        """The body of one invocation; implemented per design point."""
+        raise NotImplementedError
+
+    # -- shared helpers ---------------------------------------------------
+    def closest_first(self, elements: frozenset[Element]) -> list[Element]:
+        """Order candidates by expected latency to their home (then name).
+
+        This is the paper's "fetching 'closer' files first"; unreachable
+        homes sort last (infinite estimated latency).
+        """
+        net = self.repo.net
+
+        def key(e: Element) -> tuple[float, str]:
+            latency = net.expected_latency(self.client, e.home)
+            return (latency if latency is not None else float("inf"), e.name)
+
+        return sorted(elements, key=key)
+
+    def __repr__(self) -> str:
+        state = "terminated" if self.terminated else "active"
+        return (f"{type(self).__name__}({self.coll_id} from {self.client}, "
+                f"{len(self.yielded)} yielded, {state})")

@@ -1,0 +1,79 @@
+"""Figure 4: mutable set with loss of mutations (first-state snapshot).
+
+"The iterator will yield only those elements of s as it appears the
+first time the iterator is called. … it still assumes that the set can
+be obtained in one atomic action (to get a snapshot of s in the
+first-state), and distributed atomic actions are extremely expensive in
+practice."
+
+The implementation takes that expensive atomic snapshot honestly: the
+first invocation reads the membership from the **primary** (one RPC ==
+one atomic action in our model; a stale replica would not be the
+first-state value and would break conformance).  Subsequent invocations
+yield elements of the snapshot, closest-first, failing pessimistically
+only when *every* remaining element is unreachable.
+
+A member removed mid-run is still yielded (descriptor with
+``value=None``): that is precisely the "loss of mutations" the figure's
+title announces, and Figure 4 *requires* it — the element is still in
+``s_first`` and its home still answers, so it is in
+``reachable(s_first)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..errors import FailureException, NoSuchObjectError
+from ..spec.termination import Failed, Outcome, Returned, Yielded
+from ..store.elements import Element
+from .base import WeakSet
+from .iterator import ElementsIterator
+
+__all__ = ["SnapshotIterator", "SnapshotSet"]
+
+
+class SnapshotIterator(ElementsIterator):
+    """Iterator over the set's first-state value."""
+
+    impl_name = "snapshot"
+
+    def __init__(self, *args: Any, fetch_values: bool = True, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self.fetch_values = fetch_values
+        self.snapshot: Optional[frozenset[Element]] = None
+
+    def _step(self) -> Generator[Any, Any, Outcome]:
+        if self.snapshot is None:
+            # The atomic first-state snapshot.  If the primary is
+            # unreachable, the FailureException propagates and the
+            # iterator fails before yielding anything.
+            view = yield from self.repo.read_membership(self.coll_id, source="primary")
+            self.snapshot = view.members
+        remaining = self.snapshot - self.yielded
+        if not remaining:
+            return Returned()
+        for element in self.closest_first(remaining):
+            if not self.fetch_values:
+                return Yielded(element, None)
+            try:
+                value = yield from self.repo.fetch(element)
+                return Yielded(element, value)
+            except NoSuchObjectError:
+                # Removed since the snapshot: its home answered, so it is
+                # reachable; Figure 4 says yield it anyway (a "lost"
+                # mutation the client may observe).
+                return Yielded(element, None)
+            except FailureException:
+                continue  # unreachable right now; try a farther element
+        return Failed(
+            f"{len(remaining)} snapshot element(s) unreachable and none yieldable"
+        )
+
+
+class SnapshotSet(WeakSet):
+    """Figure 4 semantics: weak consistency, first-vintage."""
+
+    semantics = "fig4"
+    iterator_cls = SnapshotIterator
+    expected_policy = "any"

@@ -1,0 +1,72 @@
+"""The paper's re-run idiom, packaged.
+
+"If clients were concerned about these possible losses, after the
+iterator terminates (returns), they can run the iterator again and hope
+to catch discrepancies."
+
+:func:`iterate_until_stable` runs a weak set's iterator repeatedly
+until two consecutive complete runs return the same member set (or the
+round budget runs out).  Under quiescence this converges in two rounds;
+under churn it reports the last two answers and the fact that they
+still differ — which is itself the honest answer a weakly-consistent
+system can give.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from ..sim.events import Sleep
+from ..spec.termination import Returned
+from ..store.elements import Element
+from .base import WeakSet
+
+__all__ = ["StableResult", "iterate_until_stable"]
+
+
+@dataclass
+class StableResult:
+    """The outcome of the re-run-until-agreement loop."""
+
+    answers: list[frozenset[Element]] = field(default_factory=list)
+    stable: bool = False
+    rounds: int = 0
+    failed_rounds: int = 0
+
+    @property
+    def final(self) -> frozenset[Element]:
+        return self.answers[-1] if self.answers else frozenset()
+
+    @property
+    def discrepancies(self) -> frozenset[Element]:
+        """Symmetric difference of the last two answers (the 'losses')."""
+        if len(self.answers) < 2:
+            return frozenset()
+        return self.answers[-1] ^ self.answers[-2]
+
+
+def iterate_until_stable(weakset: WeakSet, *, max_rounds: int = 5,
+                         pause_between: float = 0.1
+                         ) -> Generator[Any, Any, StableResult]:
+    """Drain ``weakset`` repeatedly until two runs agree.
+
+    Failed runs (pessimistic semantics may fail) count toward
+    ``max_rounds`` but never toward agreement.
+    """
+    result = StableResult()
+    while result.rounds < max_rounds:
+        iterator = weakset.elements()
+        drained = yield from iterator.drain()
+        result.rounds += 1
+        if not isinstance(drained.outcome, Returned):
+            result.failed_rounds += 1
+        else:
+            answer = frozenset(drained.elements)
+            result.answers.append(answer)
+            if len(result.answers) >= 2 and result.answers[-1] == result.answers[-2]:
+                result.stable = True
+                return result
+        if pause_between > 0:
+            yield Sleep(pause_between)
+    return result

@@ -1,0 +1,116 @@
+"""The strong baseline: serializable iteration via distributed locking.
+
+The paper's foil: "Although this functionality may be mandatory for
+some high-integrity systems (e.g., a bank's distributed database), it
+may [be] too constraining for low-integrity systems, especially
+loosely-coupled ones (e.g., WWW)."
+
+:class:`StrongSet` holds a collection-level read lock for the entire
+run of ``elements`` and requires every element fetch to succeed; any
+unreachable element aborts the run.  Mutators (its ``add``/``remove``)
+take the write lock.  The result is serializable, first-vintage
+behaviour — and exactly the latency/availability bill the benchmarks
+E2/E4/E6 present.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..errors import FailureException, NoSuchObjectError
+from ..spec.termination import Failed, Outcome, Returned, Yielded
+from ..store.elements import Element
+from .base import WeakSet
+from .iterator import ElementsIterator
+from .locking import LockClient
+
+__all__ = ["StrongIterator", "StrongSet"]
+
+
+class StrongIterator(ElementsIterator):
+    """Lock, snapshot, prefetch everything, then yield from memory."""
+
+    impl_name = "strong"
+
+    def __init__(self, *args: Any, lock_wait_timeout: Optional[float] = None,
+                 hold_lock_while_yielding: bool = True, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self.lock_wait_timeout = lock_wait_timeout
+        self.hold_lock_while_yielding = hold_lock_while_yielding
+        self._lock: Optional[LockClient] = None
+        self._loaded: Optional[list[tuple[Element, Any]]] = None
+        self._cursor = 0
+
+    def _step(self) -> Generator[Any, Any, Outcome]:
+        if self._loaded is None:
+            outcome = yield from self._load_all()
+            if outcome is not None:
+                return outcome
+        assert self._loaded is not None
+        if self._cursor < len(self._loaded):
+            element, value = self._loaded[self._cursor]
+            self._cursor += 1
+            if self._cursor == len(self._loaded) and not self.hold_lock_while_yielding:
+                pass  # lock already dropped after load
+            return Yielded(element, value)
+        if self._lock is not None:
+            lock, self._lock = self._lock, None
+            yield from lock.release_quietly()
+        return Returned()
+
+    def _load_all(self) -> Generator[Any, Any, Optional[Outcome]]:
+        """Acquire the read lock and fetch every member, or abort."""
+        self._lock = LockClient(self.repo, self.coll_id)
+        try:
+            yield from self._lock.acquire("read", wait_timeout=self.lock_wait_timeout)
+        except FailureException as exc:
+            self._lock = None
+            return Failed(f"read lock unavailable: {exc}")
+        try:
+            view = yield from self.repo.read_membership(self.coll_id, source="primary")
+            loaded: list[tuple[Element, Any]] = []
+            for element in self.closest_first(view.members):
+                value = yield from self.repo.fetch(element)
+                loaded.append((element, value))
+        except (FailureException, NoSuchObjectError) as exc:
+            # Strong semantics: all or nothing.  Release and fail.
+            lock, self._lock = self._lock, None
+            yield from lock.release_quietly()
+            return Failed(f"strong iteration aborted: {exc}")
+        self._loaded = loaded
+        if not self.hold_lock_while_yielding:
+            lock, self._lock = self._lock, None
+            yield from lock.release_quietly()
+        return None
+
+
+class StrongSet(WeakSet):
+    """Serializable set: the traditional-database comparison point.
+
+    Requires a lock service on the collection's primary node
+    (:func:`~repro.weaksets.locking.install_lock_service`).  Its
+    ``add``/``remove`` take the write lock, so they serialize against
+    every reader that plays by the same rules.
+    """
+
+    semantics = "strong"
+    iterator_cls = StrongIterator
+    expected_policy = "any"
+
+    def add(self, name: str, value: Any = None, home: Optional[str] = None,
+            size: int = 0) -> Generator[Any, Any, Element]:
+        lock = LockClient(self.repo, self.coll_id)
+        yield from lock.acquire("write")
+        try:
+            element = yield from super().add(name, value, home, size)
+        finally:
+            yield from lock.release_quietly()
+        return element
+
+    def remove(self, element: Element) -> Generator[Any, Any, None]:
+        lock = LockClient(self.repo, self.coll_id)
+        yield from lock.acquire("write")
+        try:
+            yield from super().remove(element)
+        finally:
+            yield from lock.release_quietly()

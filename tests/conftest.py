@@ -1,0 +1,12 @@
+"""Shared pytest configuration for the test suite."""
+
+from hypothesis import HealthCheck, settings
+
+# Simulation-backed property tests do nontrivial work per example; wall
+# clock deadlines only add flakiness on loaded CI machines.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,64 @@
+"""The `python -m repro.bench` CLI."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+def test_cli_runs_selected_experiments(capsys):
+    assert main(["E8"]) == 0
+    out = capsys.readouterr().out
+    assert "[E8]" in out
+    assert "Garcia-Molina" in out
+    assert "wall clock" in out
+
+
+def test_cli_accepts_lowercase_ids(capsys):
+    assert main(["e9"]) == 0
+    assert "[E9]" in capsys.readouterr().out
+
+
+def test_cli_runs_multiple(capsys):
+    assert main(["E8", "E9"]) == 0
+    out = capsys.readouterr().out
+    assert "[E8]" in out and "[E9]" in out
+
+
+def test_cli_rejects_unknown_ids(capsys):
+    assert main(["E99"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+
+
+def test_registry_covers_all_documented_experiments():
+    from repro.bench import ALL_EXPERIMENTS
+    for eid in ["E1", "E2", "E2a", "E3", "E4", "E4a", "E5", "E5a",
+                "E6", "E6b", "E7", "E8", "E9", "E10", "E11",
+                "E12", "E13", "E14", "E15"]:
+        assert eid in ALL_EXPERIMENTS
+
+
+def test_cli_markdown_mode(capsys):
+    assert main(["--markdown", "E8"]) == 0
+    out = capsys.readouterr().out
+    assert "### E8" in out
+    assert "| spec |" in out or "| spec " in out
+    assert "|---|" in out
+
+
+def test_cli_help(capsys):
+    assert main(["--help"]) == 0
+    out = capsys.readouterr().out
+    assert "experiments:" in out
+
+
+def test_markdown_formatting_unit():
+    from repro.bench.report import format_markdown
+    rows = [{"a": 1, "b": True}, {"a": 2.5, "b": None}]
+    text = format_markdown(rows)
+    lines = text.splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert "| 1 | yes |" in text
+    assert "| 2.5000 | - |" in text
+    assert format_markdown([]) == "*(empty)*"

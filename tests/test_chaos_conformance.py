@@ -1,0 +1,131 @@
+"""Chaos fuzzing: randomized fault schedules + churn, conformance always.
+
+The strongest correctness statement the reproduction makes: for *any*
+interleaving of crashes, partitions, heals, and mutations (drawn by
+hypothesis), the dynamic iterator's trace satisfies Figure 6 and the
+grow-only iterator's trace satisfies Figure 5.  This is the checker and
+the implementations validating each other under adversarial schedules.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FailureException, StoreError
+from repro.sim import Sleep
+from repro.spec import check_conformance, spec_by_id
+from repro.store import Repository
+from repro.wan import ScenarioSpec, build_scenario
+from repro.weaksets import DynamicSet, GrowOnlySet
+
+CHAOS_NODES = ["n1.0", "n1.1", "n2.0", "n2.1"]
+
+chaos_action = st.sampled_from(
+    [f"crash:{n}" for n in CHAOS_NODES]
+    + [f"recover:{n}" for n in CHAOS_NODES]
+    + [f"isolate:{n}" for n in CHAOS_NODES]
+    + ["heal", "add", "remove", "sleep"]
+)
+
+
+def apply_action(scenario, repo, action, counter):
+    net = scenario.net
+    kind, _, target = action.partition(":")
+    if kind == "crash":
+        if net.node(target).up:
+            net.crash(target)
+    elif kind == "recover":
+        net.recover(target)
+    elif kind == "isolate":
+        net.isolate(target)
+    elif kind == "heal":
+        net.heal()
+    elif kind == "add":
+        counter[0] += 1
+        yield from repo.add("coll", f"chaos-{counter[0]}",
+                            value=counter[0], home=CHAOS_NODES[counter[0] % 4])
+    elif kind == "remove":
+        members = sorted(scenario.world.true_members("coll"),
+                         key=lambda e: e.name)
+        if members:
+            yield from repo.remove("coll", members[0])
+    yield Sleep(0.15)
+
+
+def run_chaos(impl_cls, policy, actions, seed, forbid=()):
+    spec = ScenarioSpec(n_clusters=3, cluster_size=2, n_members=8,
+                        policy=policy, coll_id="coll")
+    scenario = build_scenario(spec, seed=seed)
+    repo = Repository(scenario.world, spec.primary)
+    ws = impl_cls(scenario.world, scenario.client, "coll",
+                  **({"retry_interval": 0.2} if impl_cls is DynamicSet else {}))
+    iterator = ws.elements()
+    counter = [0]
+
+    def chaos():
+        for action in actions:
+            if action.split(":")[0] in forbid:
+                continue
+            try:
+                yield from apply_action(scenario, repo, action, counter)
+            except (FailureException, StoreError):
+                pass
+        # always end in a healed, all-up world so optimism can finish
+        scenario.net.heal()
+        for node in CHAOS_NODES:
+            scenario.net.recover(node)
+
+    def query():
+        return (yield from iterator.drain())
+
+    scenario.kernel.spawn(chaos(), daemon=True)
+    proc = scenario.kernel.spawn(query(), name="query")
+    scenario.kernel.run(until=600.0)
+    assert proc.finished, "query did not finish even after full heal"
+    return ws, scenario
+
+
+@given(st.integers(min_value=0, max_value=99999),
+       st.lists(chaos_action, min_size=1, max_size=12))
+@settings(max_examples=25, deadline=None)
+def test_dynamic_always_conforms_to_fig6_under_chaos(seed, actions):
+    ws, scenario = run_chaos(DynamicSet, "any", actions, seed)
+    report = check_conformance(ws.last_trace, spec_by_id("fig6"),
+                               scenario.world)
+    assert report.conformant, report.counterexample()
+
+
+@given(st.integers(min_value=0, max_value=99999),
+       st.lists(chaos_action, min_size=1, max_size=12))
+@settings(max_examples=25, deadline=None)
+def test_grow_only_always_conforms_to_fig5_under_chaos(seed, actions):
+    # removes are rejected by the grow-only policy; chaos still includes
+    # them to exercise the rejection path
+    ws, scenario = run_chaos(GrowOnlySet, "grow-only", actions, seed)
+    report = check_conformance(ws.last_trace, spec_by_id("fig5"),
+                               scenario.world)
+    assert report.conformant, report.counterexample()
+
+
+@given(st.integers(min_value=0, max_value=99999),
+       st.floats(min_value=0.0, max_value=0.3))
+@settings(max_examples=15, deadline=None)
+def test_dynamic_conforms_over_lossy_links_too(seed, loss_rate):
+    """Message loss (not just partitions) cannot break Figure 6."""
+    spec = ScenarioSpec(n_clusters=2, cluster_size=2, n_members=6,
+                        coll_id="coll", rpc_timeout=0.3)
+    scenario = build_scenario(spec, seed=seed)
+    for link in scenario.net.topology.links():
+        link.loss_rate = loss_rate
+    ws = DynamicSet(scenario.world, scenario.client, "coll",
+                    retry_interval=0.2)
+    iterator = ws.elements()
+
+    def query():
+        return (yield from iterator.drain())
+
+    proc = scenario.kernel.spawn(query(), name="query")
+    scenario.kernel.run(until=600.0)
+    assert proc.finished
+    report = check_conformance(ws.last_trace, spec_by_id("fig6"),
+                               scenario.world)
+    assert report.conformant, report.counterexample()

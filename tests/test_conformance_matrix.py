@@ -1,0 +1,174 @@
+"""E1 integration: the implementation-versus-specification matrix.
+
+Each implementation is run against the workload its design point is
+meant for, under transient failures, and the trace is checked against
+every figure.  The expected pattern:
+
+* every implementation conforms to its own figure;
+* implementations over *stricter* environments also conform to weaker
+  figures whose extra behaviours they never trigger;
+* cross-pairings with genuinely incompatible semantics produce concrete
+  counterexamples.
+"""
+
+import pytest
+
+from repro.sim import Sleep
+from repro.spec import ALL_FIGURES, check_conformance, spec_by_id
+from repro.weaksets import (
+    DynamicSet,
+    GrowOnlySet,
+    ImmutableSet,
+    SnapshotSet,
+)
+
+from helpers import CLIENT, drain_all, standard_world
+
+
+def run_with_mutations_and_blip(kernel, net, world, ws, *, adds=(), removes=()):
+    """Drive one full iteration with a mid-run connectivity blip and the
+    given mutations (by name for adds, element for removes)."""
+    iterator = ws.elements()
+
+    def proc():
+        first = yield from iterator.invoke()
+        for name in adds:
+            yield from ws.repo.add("coll", name, value=name)
+        for e in removes:
+            if e != first.element:
+                yield from ws.repo.remove("coll", e)
+        net.isolate("s1")
+        yield Sleep(0.3)
+        net.rejoin("s1")
+        rest = yield from iterator.drain()
+        return rest
+
+    return kernel.run_process(proc())
+
+
+def test_immutable_impl_conforms_to_fig3_and_weaker():
+    kernel, net, world, elements = standard_world(members=6, policy="immutable")
+    world.seal("coll")
+    ws = ImmutableSet(world, CLIENT, "coll")
+    iterator = ws.elements()
+
+    def proc():
+        first = yield from iterator.invoke()
+        net.isolate("s1")
+        yield Sleep(0.3)
+        net.rejoin("s1")
+        return (yield from iterator.drain())
+
+    kernel.run_process(proc())
+    trace = ws.last_trace
+    for spec_id in ["fig3", "fig4", "fig6"]:
+        report = check_conformance(trace, spec_by_id(spec_id), world)
+        assert report.conformant, f"{spec_id}: {report.counterexample()}"
+    # fig5 also holds: an immutable history is vacuously grow-only and
+    # the snapshot basis coincides with the pre basis when s never moves
+    report5 = check_conformance(trace, spec_by_id("fig5"), world)
+    assert report5.conformant, report5.counterexample()
+
+
+def test_snapshot_impl_conforms_to_fig4_not_fig3_under_mutation():
+    kernel, net, world, elements = standard_world(members=6)
+    ws = SnapshotSet(world, CLIENT, "coll")
+    run_with_mutations_and_blip(kernel, net, world, ws,
+                                adds=["added-1"], removes=[elements[2]])
+    trace = ws.last_trace
+    fig4 = check_conformance(trace, spec_by_id("fig4"), world)
+    assert fig4.conformant, fig4.counterexample()
+    fig3 = check_conformance(trace, spec_by_id("fig3"), world)
+    assert not fig3.conformant
+    assert fig3.constraint_violations       # immutability broken by workload
+
+
+def test_snapshot_impl_violates_fig6_by_missing_additions():
+    """Fig 6 requires additions to be yielded; the snapshot iterator
+    returns without them — a concrete ensures violation."""
+    kernel, net, world, elements = standard_world(members=4)
+    ws = SnapshotSet(world, CLIENT, "coll")
+    iterator = ws.elements()
+
+    def proc():
+        yield from iterator.invoke()
+        yield from ws.repo.add("coll", "zz-added", value="A")
+        return (yield from iterator.drain())
+
+    kernel.run_process(proc())
+    report = check_conformance(ws.last_trace, spec_by_id("fig6"), world)
+    assert not report.conformant
+    assert report.ensures_violations        # returned while members unyielded
+
+
+def test_grow_only_impl_conforms_to_fig5_and_fig6():
+    kernel, net, world, elements = standard_world(members=6, policy="grow-only")
+    ws = GrowOnlySet(world, CLIENT, "coll")
+    iterator = ws.elements()
+
+    def proc():
+        first = yield from iterator.invoke()
+        yield from ws.repo.add("coll", "zz-grown", value="G")
+        return (yield from iterator.drain())
+
+    kernel.run_process(proc())
+    trace = ws.last_trace
+    for spec_id in ["fig5", "fig6"]:
+        report = check_conformance(trace, spec_by_id(spec_id), world)
+        assert report.conformant, f"{spec_id}: {report.counterexample()}"
+    # fig4 constraint (true) holds but its ensures fails: the growth was
+    # yielded, which the first-state basis cannot justify
+    fig4 = check_conformance(trace, spec_by_id("fig4"), world)
+    assert not fig4.conformant
+
+
+def test_grow_only_impl_violates_fig6_when_it_fails():
+    """Fig 6 has no failure exit: a pessimistic failure is a violation."""
+    kernel, net, world, elements = standard_world(
+        n_servers=3, members=6, policy="grow-only")
+    net.crash("s1")
+    ws = GrowOnlySet(world, CLIENT, "coll")
+    result = drain_all(kernel, ws)
+    assert result.failed
+    fig5 = check_conformance(ws.last_trace, spec_by_id("fig5"), world)
+    assert fig5.conformant, fig5.counterexample()
+    fig6 = check_conformance(ws.last_trace, spec_by_id("fig6"), world)
+    assert not fig6.conformant
+
+
+def test_dynamic_impl_conforms_to_fig6_only_under_churn():
+    kernel, net, world, elements = standard_world(members=6)
+    ws = DynamicSet(world, CLIENT, "coll")
+    run_with_mutations_and_blip(kernel, net, world, ws,
+                                adds=["zz-new"], removes=[elements[3]])
+    trace = ws.last_trace
+    fig6 = check_conformance(trace, spec_by_id("fig6"), world)
+    assert fig6.conformant, fig6.counterexample()
+    # fig4: the dynamic iterator yielded an element added after the
+    # first state — impossible under a first-state basis
+    fig4 = check_conformance(trace, spec_by_id("fig4"), world)
+    assert not fig4.conformant
+    # fig5: the constraint (grow-only) is broken by the removal
+    fig5 = check_conformance(trace, spec_by_id("fig5"), world)
+    assert not fig5.conformant
+    assert fig5.constraint_violations
+
+
+def test_matrix_diagonal_all_conformant():
+    """Each design point run in its intended environment conforms to its
+    own figure — the matrix diagonal of experiment E1."""
+    pairs = [
+        ("fig3", "immutable", ImmutableSet),
+        ("fig4", "any", SnapshotSet),
+        ("fig5", "grow-only", GrowOnlySet),
+        ("fig6", "any", DynamicSet),
+    ]
+    for spec_id, policy, cls in pairs:
+        kernel, net, world, elements = standard_world(members=5, policy=policy)
+        if policy == "immutable":
+            world.seal("coll")
+        ws = cls(world, CLIENT, "coll")
+        result = drain_all(kernel, ws)
+        assert not result.failed, spec_id
+        report = check_conformance(ws.last_trace, spec_by_id(spec_id), world)
+        assert report.conformant, f"{spec_id}: {report.counterexample()}"

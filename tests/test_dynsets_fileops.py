@@ -1,0 +1,160 @@
+"""stat / read_file and the explain_trace narrator."""
+
+import pytest
+
+from repro.errors import FailureException, NoSuchPathError
+from repro.dynsets import FileSystem, read_file, stat
+from repro.net import FixedLatency, Network, full_mesh
+from repro.sim import Kernel
+from repro.spec import explain_trace, spec_by_id
+from repro.store import Repository, World
+from repro.weaksets import DynamicSet, SnapshotSet
+
+from helpers import CLIENT, drain_all, standard_world
+
+
+def make_fs():
+    kernel = Kernel()
+    net = Network(kernel, full_mesh(["client", "root", "n1"], FixedLatency(0.01)))
+    world = World(net)
+    fs = FileSystem(world, root_node="root")
+    fs.mkdir("/docs", node="n1")
+    fs.create_file("/docs/paper.txt", content="weak sets", home="n1", size=9)
+    return kernel, net, world, fs
+
+
+# ---------------------------------------------------------------------------
+# stat / read_file
+# ---------------------------------------------------------------------------
+
+def test_stat_file():
+    kernel, net, world, fs = make_fs()
+
+    def proc():
+        return (yield from stat(fs, "client", "/docs/paper.txt"))
+
+    result = kernel.run_process(proc())
+    assert result.kind == "file"
+    assert result.size == 9
+    assert result.home == "n1"
+    assert not result.is_dir
+
+
+def test_stat_directory_is_local_metadata():
+    kernel, net, world, fs = make_fs()
+
+    def proc():
+        return (yield from stat(fs, "client", "/docs"))
+
+    result = kernel.run_process(proc())
+    assert result.is_dir
+    assert result.home == "n1"
+
+
+def test_read_file_contents():
+    kernel, net, world, fs = make_fs()
+
+    def proc():
+        return (yield from read_file(fs, "client", "/docs/paper.txt"))
+
+    assert kernel.run_process(proc()) == "weak sets"
+
+
+def test_read_missing_path_raises():
+    kernel, net, world, fs = make_fs()
+
+    def proc():
+        try:
+            yield from read_file(fs, "client", "/docs/none.txt")
+        except NoSuchPathError:
+            return "missing"
+
+    assert kernel.run_process(proc()) == "missing"
+
+
+def test_read_directory_rejected():
+    kernel, net, world, fs = make_fs()
+
+    def proc():
+        try:
+            yield from read_file(fs, "client", "/docs")
+        except NoSuchPathError:
+            return "not a file"
+
+    assert kernel.run_process(proc()) == "not a file"
+
+
+def test_stat_unreachable_home_fails():
+    kernel, net, world, fs = make_fs()
+    net.crash("n1")
+
+    def proc():
+        try:
+            yield from stat(fs, "client", "/docs/paper.txt")
+        except FailureException:
+            return "failure"
+
+    assert kernel.run_process(proc()) == "failure"
+
+
+def test_stat_deleted_file_is_no_such_path():
+    kernel, net, world, fs = make_fs()
+    element = fs.entry("/docs/paper.txt")
+    repo = Repository(world, "client")
+
+    def proc():
+        yield from repo.remove("dir:/docs", element)
+        try:
+            yield from stat(fs, "client", "/docs/paper.txt")
+        except NoSuchPathError:
+            return "gone"
+
+    assert kernel.run_process(proc()) == "gone"
+
+
+# ---------------------------------------------------------------------------
+# explain_trace
+# ---------------------------------------------------------------------------
+
+def test_explain_conformant_trace_all_justified():
+    kernel, net, world, elements = standard_world(members=4)
+    ws = DynamicSet(world, CLIENT, "coll")
+    drain_all(kernel, ws)
+    explanations = explain_trace(ws.last_trace, spec_by_id("fig6"))
+    assert len(explanations) == 5           # 4 yields + returns
+    assert all(e.justified for e in explanations)
+    assert all("justified by σ@" in e.detail for e in explanations)
+    assert "✓" in str(explanations[0])
+
+
+def test_explain_violating_trace_points_at_the_bad_invocation():
+    kernel, net, world, elements = standard_world(members=3)
+    ws = SnapshotSet(world, CLIENT, "coll")
+    iterator = ws.elements()
+
+    def proc():
+        yield from iterator.invoke()
+        yield from ws.repo.add("coll", "zz-missed", value="M")
+        yield from iterator.drain()
+
+    kernel.run_process(proc())
+    # fig6 demands the addition be yielded; the snapshot returns without it
+    explanations = explain_trace(ws.last_trace, spec_by_id("fig6"))
+    bad = [e for e in explanations if not e.justified]
+    assert bad
+    assert bad[-1].outcome == "returns"
+    assert "requires suspends" in bad[-1].detail
+
+
+def test_explain_first_basis_picks_working_candidate():
+    kernel, net, world, elements = standard_world(members=4)
+    ws = SnapshotSet(world, CLIENT, "coll")
+    drain_all(kernel, ws)
+    explanations = explain_trace(ws.last_trace, spec_by_id("fig4"))
+    assert all(e.justified for e in explanations)
+
+
+def test_explain_empty_trace():
+    from repro.spec import IterationTrace
+    trace = IterationTrace(coll_id="c", client="x")
+    assert explain_trace(trace, spec_by_id("fig6")) == []

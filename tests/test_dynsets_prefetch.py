@@ -1,0 +1,255 @@
+"""Tests for the prefetch engine and the setOpen/setIterate/setClose API."""
+
+import pytest
+
+from repro.dynsets import DynSetHandle, PrefetchEngine, set_open
+from repro.net import FixedLatency, Network, full_mesh, wan_clusters
+from repro.sim import Kernel, Sleep
+from repro.store import Repository, World
+
+from helpers import CLIENT, standard_world
+
+
+def test_prefetch_fetches_everything():
+    kernel, net, world, elements = standard_world(members=8)
+    repo = Repository(world, CLIENT)
+    engine = PrefetchEngine(repo, elements, parallelism=4)
+    engine.start()
+
+    def consume():
+        out = []
+        while True:
+            r = yield from engine.next_result()
+            if r is None:
+                return out
+            out.append(r)
+
+    results = kernel.run_process(consume())
+    assert len(results) == len(elements)
+    assert all(r.ok for r in results)
+    assert {r.element for r in results} == set(elements)
+
+
+def test_parallelism_speeds_up_fetching():
+    def run(parallelism):
+        kernel, net, world, elements = standard_world(
+            members=12, service_time=0.05)
+        repo = Repository(world, CLIENT)
+        engine = PrefetchEngine(repo, elements, parallelism=parallelism)
+        engine.start()
+
+        def consume():
+            while True:
+                r = yield from engine.next_result()
+                if r is None:
+                    return kernel.now
+
+        return kernel.run_process(consume())
+
+    sequential = run(1)
+    parallel = run(6)
+    assert parallel < sequential / 2  # near-linear speedup at this scale
+
+
+def test_closest_first_ordering():
+    kernel = Kernel()
+    topo = wan_clusters([3, 3], FixedLatency(0.002), FixedLatency(0.3))
+    net = Network(kernel, topo)
+    world = World(net)
+    world.create_collection("c", primary="n0.0")
+    near = world.seed_member("c", "near", value=1, home="n0.1")
+    far = world.seed_member("c", "far", value=2, home="n1.1")
+    repo = Repository(world, "n0.2")
+    engine = PrefetchEngine(repo, [far, near], parallelism=1)
+    engine.start()
+
+    def consume():
+        first = yield from engine.next_result()
+        second = yield from engine.next_result()
+        return first.element, second.element
+
+    first, second = kernel.run_process(consume())
+    assert first == near and second == far
+
+
+def test_retry_recovers_after_heal():
+    kernel, net, world, elements = standard_world(n_servers=3, members=6)
+    net.isolate("s1")
+    repo = Repository(world, CLIENT)
+    engine = PrefetchEngine(repo, elements, parallelism=3, retry_interval=0.2)
+    engine.start()
+
+    def healer():
+        yield Sleep(2.0)
+        net.heal()
+
+    def consume():
+        out = []
+        while True:
+            r = yield from engine.next_result()
+            if r is None:
+                return out
+            out.append(r)
+
+    kernel.spawn(healer(), daemon=True)
+    results = kernel.run_process(consume())
+    assert all(r.ok for r in results)
+    assert len(results) == 6
+    assert engine.retries > 0
+
+
+def test_give_up_reports_unreachable():
+    kernel, net, world, elements = standard_world(n_servers=3, members=6)
+    net.crash("s1")
+    repo = Repository(world, CLIENT)
+    engine = PrefetchEngine(repo, elements, parallelism=3,
+                            retry_interval=0.2, give_up_after=1.5)
+    engine.start()
+
+    def consume():
+        out = []
+        while True:
+            r = yield from engine.next_result()
+            if r is None:
+                return out
+            out.append(r)
+
+    results = kernel.run_process(consume())
+    assert len(results) == 6
+    ok = [r for r in results if r.ok]
+    gave_up = [r for r in results if r.gave_up]
+    assert {r.element.home for r in gave_up} == {"s1"}
+    assert len(ok) == 4
+
+
+def test_skipped_for_removed_members():
+    kernel, net, world, elements = standard_world(members=4)
+    repo = Repository(world, CLIENT)
+
+    def proc():
+        # remove one member, then prefetch from the (now stale) list
+        yield from repo.remove("coll", elements[0])
+        engine = PrefetchEngine(repo, elements, parallelism=2)
+        engine.start()
+        out = []
+        while True:
+            r = yield from engine.next_result()
+            if r is None:
+                return out, engine
+            out.append(r)
+
+    results, engine = kernel.run_process(proc())
+    skipped = [r for r in results if r.skipped]
+    assert [r.element for r in skipped] == [elements[0]]
+    assert engine.skipped == 1
+
+
+# ---------------------------------------------------------------------------
+# setOpen / setIterate / setClose
+# ---------------------------------------------------------------------------
+
+def test_set_open_iterate_close():
+    kernel, net, world, elements = standard_world(members=5)
+
+    def proc():
+        handle = yield from set_open(world, CLIENT, "coll", parallelism=3)
+        got = yield from handle.iterate_all()
+        handle.close()
+        return handle, got
+
+    handle, got = kernel.run_process(proc())
+    assert {r.element for r in got} == set(elements)
+    assert handle.time_to_first is not None
+    assert handle.time_to_first < 0.2
+
+
+def test_early_close_stops_workers():
+    kernel, net, world, elements = standard_world(members=20, service_time=0.05)
+
+    def proc():
+        handle = yield from set_open(world, CLIENT, "coll", parallelism=2)
+        first_three = yield from handle.iterate_all(limit=3)
+        handle.close()   # user found what they wanted
+        return len(first_three), kernel.now
+
+    count, t = kernel.run_process(proc())
+    assert count == 3
+    # closing early means we did not pay for all 20 fetches
+    assert t < 1.0
+
+
+def test_iterate_after_close_is_error():
+    from repro.errors import SimulationError
+    kernel, net, world, elements = standard_world(members=2)
+
+    def proc():
+        handle = yield from set_open(world, CLIENT, "coll")
+        handle.close()
+        try:
+            yield from handle.iterate()
+        except SimulationError:
+            return "rejected"
+
+    assert kernel.run_process(proc()) == "rejected"
+
+
+def test_streaming_first_result_before_total_completion():
+    kernel, net, world, elements = standard_world(members=10, service_time=0.05)
+
+    def proc():
+        handle = yield from set_open(world, CLIENT, "coll", parallelism=2)
+        first = yield from handle.iterate()
+        t_first = kernel.now
+        rest = yield from handle.iterate_all()
+        return t_first, kernel.now, 1 + len(rest)
+
+    t_first, t_all, count = kernel.run_process(proc())
+    assert count == 10
+    assert t_first < t_all / 2.5   # partial info well before completion
+
+
+def test_priority_hint_overrides_ordering():
+    """Application hints (Steere's profiles): fetch by custom key."""
+    kernel, net, world, elements = standard_world(members=6)
+    repo = Repository(world, CLIENT)
+    # hint: reverse-alphabetical
+    engine = PrefetchEngine(repo, elements, parallelism=1,
+                            priority=lambda e: tuple(-ord(c) for c in e.name))
+    engine.start()
+
+    def consume():
+        out = []
+        while True:
+            r = yield from engine.next_result()
+            if r is None:
+                return out
+            out.append(r.element.name)
+
+    names = kernel.run_process(consume())
+    assert names == sorted(names, reverse=True)
+
+
+def test_priority_hint_smallest_first():
+    kernel, net, world, _ = standard_world(members=0, bandwidth=100_000.0)
+    sizes = {}
+    elements = []
+    for i, size in enumerate([50_000, 1_000, 20_000]):
+        e = world.seed_member("coll", f"f{i}", value=f"v{i}", home="s1",
+                              size=size)
+        sizes[e.oid] = size
+        elements.append(e)
+    repo = Repository(world, CLIENT)
+    engine = PrefetchEngine(repo, elements, parallelism=1,
+                            priority=lambda e: sizes[e.oid])
+    engine.start()
+
+    def consume():
+        out = []
+        while True:
+            r = yield from engine.next_result()
+            if r is None:
+                return out
+            out.append(sizes[r.element.oid])
+
+    order = kernel.run_process(consume())
+    assert order == sorted(order)   # smallest first => fastest first yield

@@ -1,0 +1,102 @@
+"""Soak tests: concurrent iterators + churn + fault injection, all
+traces conformance-checked.  The closest thing to the paper's target
+deployment: many clients, common failures, rare-but-real mutations."""
+
+import pytest
+
+from repro.net import FaultPlan
+from repro.spec import Returned, check_conformance, spec_by_id
+from repro.wan import Mutator, ScenarioSpec, build_scenario
+from repro.weaksets import DynamicSet, GrowOnlySet
+
+
+def test_soak_dynamic_iterators_under_churn_and_faults():
+    plan = FaultPlan(crash_rate=0.01, isolate_rate=0.02, mean_downtime=0.8,
+                     protected=frozenset({"client", "n0.0"}))
+    spec = ScenarioSpec(n_clusters=4, cluster_size=2, n_members=16,
+                        fault_plan=plan)
+    scenario = build_scenario(spec, seed=42)
+    mutator = Mutator(scenario, add_rate=0.3, remove_rate=0.3)
+    mutator.start()
+
+    clients = ["client", "n1.1", "n3.0"]
+    sets = [DynamicSet(scenario.world, c, spec.coll_id, retry_interval=0.3)
+            for c in clients]
+    outcomes = {}
+
+    def run(ws, name):
+        result = yield from ws.elements().drain()
+        outcomes[name] = result
+
+    for ws, name in zip(sets, clients):
+        scenario.kernel.spawn(run(ws, name), name=f"query@{name}")
+    scenario.kernel.run(until=300.0)
+    scenario.injector.stop()
+
+    assert set(outcomes) == set(clients), "every query finished"
+    for ws, name in zip(sets, clients):
+        result = outcomes[name]
+        assert isinstance(result.outcome, Returned), (name, result.outcome)
+        assert len(result.elements) >= 10          # substantial answers
+        report = check_conformance(ws.last_trace, spec_by_id("fig6"),
+                                   scenario.world)
+        assert report.conformant, (name, report.counterexample())
+
+
+def test_soak_grow_only_under_growth_and_faults():
+    plan = FaultPlan(isolate_rate=0.02, mean_downtime=0.6,
+                     protected=frozenset({"client", "n0.0"}))
+    spec = ScenarioSpec(n_clusters=3, cluster_size=2, n_members=12,
+                        policy="grow-only", fault_plan=plan)
+    scenario = build_scenario(spec, seed=17)
+    mutator = Mutator(scenario, add_rate=0.5)
+    mutator.start()
+
+    ws = GrowOnlySet(scenario.world, "client", spec.coll_id)
+    results = []
+
+    # several back-to-back runs; failures may legitimately end a run
+    def runner():
+        for _ in range(4):
+            iterator = ws.elements()
+            result = yield from iterator.drain()
+            results.append(result)
+
+    scenario.kernel.run_process(runner(), until=300.0)
+    scenario.injector.stop()
+
+    assert len(results) == 4
+    for result, trace in zip(results, ws.traces):
+        report = check_conformance(trace, spec_by_id("fig5"), scenario.world)
+        assert report.conformant, report.counterexample()
+    # the grow-only constraint held globally too
+    history = scenario.world.membership_history(spec.coll_id)
+    assert spec_by_id("fig5").constraint.check(history) == []
+
+
+def test_soak_two_semantics_share_one_world():
+    """Different clients can use different design points concurrently;
+    each trace is judged by its own figure."""
+    spec = ScenarioSpec(n_clusters=3, cluster_size=2, n_members=10)
+    scenario = build_scenario(spec, seed=5)
+    mutator = Mutator(scenario, add_rate=0.4, remove_rate=0.2)
+    mutator.start()
+
+    from repro.weaksets import SnapshotSet
+    dyn = DynamicSet(scenario.world, "client", spec.coll_id)
+    snap = SnapshotSet(scenario.world, "n2.0", spec.coll_id)
+    done = {}
+
+    def run(ws, name):
+        result = yield from ws.elements().drain()
+        done[name] = result
+
+    scenario.kernel.spawn(run(dyn, "dyn"))
+    scenario.kernel.spawn(run(snap, "snap"))
+    scenario.kernel.run(until=120.0)
+
+    assert set(done) == {"dyn", "snap"}
+    fig6 = check_conformance(dyn.last_trace, spec_by_id("fig6"), scenario.world)
+    assert fig6.conformant, fig6.counterexample()
+    fig4 = check_conformance(snap.last_trace, spec_by_id("fig4"), scenario.world)
+    assert fig4.conformant, fig4.counterexample()

@@ -1,0 +1,206 @@
+"""Tests for partitions, fault injection, and the failure detector."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net import (
+    FailureDetector,
+    FaultInjector,
+    FaultPlan,
+    FaultSchedule,
+    FixedLatency,
+    Network,
+    PartitionManager,
+    full_mesh,
+)
+from repro.sim import Kernel, Sleep
+
+
+# ---------------------------------------------------------------------------
+# PartitionManager
+# ---------------------------------------------------------------------------
+
+def test_initially_one_partition():
+    pm = PartitionManager(["a", "b", "c"])
+    assert pm.same_partition("a", "b")
+    assert not pm.is_partitioned()
+
+
+def test_split_and_heal():
+    pm = PartitionManager(["a", "b", "c", "d"])
+    pm.split(["a", "b"], ["c"])
+    assert pm.same_partition("a", "b")
+    assert not pm.same_partition("a", "c")
+    assert not pm.same_partition("a", "d")  # d stayed in main group
+    assert not pm.same_partition("c", "d")
+    assert pm.is_partitioned()
+    pm.heal()
+    assert pm.same_partition("a", "c")
+    assert not pm.is_partitioned()
+
+
+def test_isolate_and_rejoin():
+    pm = PartitionManager(["a", "b"])
+    pm.isolate("a")
+    assert not pm.same_partition("a", "b")
+    pm.rejoin("a")
+    assert pm.same_partition("a", "b")
+
+
+def test_overlapping_split_rejected():
+    pm = PartitionManager(["a", "b"])
+    with pytest.raises(SimulationError):
+        pm.split(["a"], ["a", "b"])
+
+
+def test_unknown_node_rejected():
+    pm = PartitionManager(["a"])
+    with pytest.raises(SimulationError):
+        pm.split(["zzz"])
+    with pytest.raises(SimulationError):
+        pm.group_of("zzz")
+
+
+def test_version_bumps_on_change():
+    pm = PartitionManager(["a", "b"])
+    v0 = pm.version
+    pm.isolate("a")
+    assert pm.version > v0
+
+
+# ---------------------------------------------------------------------------
+# FaultSchedule
+# ---------------------------------------------------------------------------
+
+def test_fault_schedule_executes_in_order():
+    kernel = Kernel()
+    net = Network(kernel, full_mesh(["a", "b"], FixedLatency(0.01)))
+    sched = (FaultSchedule()
+             .crash_at(1.0, "b")
+             .recover_at(2.0, "b")
+             .isolate_at(3.0, "a")
+             .rejoin_at(4.0, "a"))
+    observations = []
+
+    def observer():
+        for t in [0.5, 1.5, 2.5, 3.5, 4.5]:
+            yield Sleep(t - kernel.now)
+            observations.append((t, net.node("b").up, net.partitions.same_partition("a", "b")))
+
+    kernel.spawn(sched.run(net), daemon=True)
+    kernel.spawn(observer())
+    kernel.run()
+    assert observations == [
+        (0.5, True, True),
+        (1.5, False, True),
+        (2.5, True, True),
+        (3.5, True, False),
+        (4.5, True, True),
+    ]
+
+
+def test_fault_schedule_link_actions():
+    kernel = Kernel()
+    net = Network(kernel, full_mesh(["a", "b"], FixedLatency(0.01)))
+    sched = FaultSchedule().cut_link_at(1.0, "a", "b").restore_link_at(2.0, "a", "b")
+    kernel.spawn(sched.run(net), daemon=True)
+    kernel.run(until=1.5)
+    assert not net.can_reach("a", "b")
+    kernel.run()
+    assert net.can_reach("a", "b")
+
+
+# ---------------------------------------------------------------------------
+# FaultInjector
+# ---------------------------------------------------------------------------
+
+def test_injector_with_zero_rates_is_silent():
+    kernel = Kernel(seed=1)
+    net = Network(kernel, full_mesh(["a", "b"], FixedLatency(0.01)))
+    injector = FaultInjector(net, FaultPlan())
+    injector.start()
+    kernel.run(until=100.0)
+    assert injector.injected == []
+
+
+def test_injector_crashes_and_recovers_nodes():
+    kernel = Kernel(seed=7)
+    net = Network(kernel, full_mesh([f"n{i}" for i in range(5)], FixedLatency(0.01)))
+    plan = FaultPlan(crash_rate=0.2, mean_downtime=0.5)
+    injector = FaultInjector(net, plan)
+    injector.start()
+    kernel.run(until=60.0)
+    kinds = {kind for (_, kind, _) in injector.injected}
+    assert kinds == {"crash"}
+    assert len(injector.injected) > 5
+    # stop injecting; all pending downtimes elapse and everyone recovers
+    injector.stop()
+    kernel.run(until=200.0)
+    assert all(net.node(n).up for n in net.nodes)
+
+
+def test_injector_respects_protected_nodes():
+    kernel = Kernel(seed=3)
+    nodes = [f"n{i}" for i in range(4)]
+    net = Network(kernel, full_mesh(nodes, FixedLatency(0.01)))
+    plan = FaultPlan(crash_rate=0.5, isolate_rate=0.5, mean_downtime=0.2,
+                     protected=frozenset({"n0"}))
+    FaultInjector(net, plan).start()
+    kernel.run(until=30.0)
+    assert net.node("n0").up
+    targets = {target for (_, kind, target) in
+               FaultInjector(net, plan).injected}  # fresh injector: empty
+    assert "n0" not in targets
+
+
+def test_injector_is_deterministic_per_seed():
+    def run(seed):
+        kernel = Kernel(seed=seed)
+        net = Network(kernel, full_mesh([f"n{i}" for i in range(4)], FixedLatency(0.01)))
+        injector = FaultInjector(net, FaultPlan(crash_rate=0.3, link_cut_rate=0.1,
+                                                mean_downtime=0.5))
+        injector.start()
+        kernel.run(until=30.0)
+        return injector.injected
+
+    assert run(5) == run(5)
+    assert run(5) != run(6)
+
+
+# ---------------------------------------------------------------------------
+# FailureDetector
+# ---------------------------------------------------------------------------
+
+def test_failure_detector_suspects_crashed_node_and_forgives():
+    kernel = Kernel(seed=0)
+    nodes = ["home", "s1", "s2"]
+    net = Network(kernel, full_mesh(nodes, FixedLatency(0.01)))
+    FailureDetector.install_ping(net, ["s1", "s2"])
+    fd = FailureDetector(net, "home", ["s1", "s2"],
+                         period=0.2, suspect_after=0.6, rpc_timeout=0.1)
+    fd.start()
+    kernel.run(until=1.0)
+    assert fd.suspected() == set()
+
+    net.crash("s1")
+    kernel.run(until=3.0)
+    assert fd.is_suspected("s1")
+    assert not fd.is_suspected("s2")
+
+    net.recover("s1")
+    kernel.run(until=6.0)
+    assert not fd.is_suspected("s1")
+    # transitions recorded: suspect then trust
+    assert [(n, s) for (_, n, s) in fd.transitions] == [("s1", True), ("s1", False)]
+
+
+def test_failure_detector_suspects_partitioned_node():
+    kernel = Kernel(seed=0)
+    net = Network(kernel, full_mesh(["home", "s1"], FixedLatency(0.01)))
+    FailureDetector.install_ping(net, ["s1"])
+    fd = FailureDetector(net, "home", ["s1"], period=0.2, suspect_after=0.6,
+                         rpc_timeout=0.1)
+    fd.start()
+    net.isolate("s1")
+    kernel.run(until=2.0)
+    assert fd.is_suspected("s1")

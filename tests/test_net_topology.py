@@ -1,0 +1,205 @@
+"""Tests for topology construction, routing, and latency models."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net import (
+    FixedLatency,
+    ParetoLatency,
+    Topology,
+    UniformLatency,
+    full_mesh,
+    line,
+    star,
+    wan_clusters,
+)
+from repro.sim.rng import RandomRouter
+
+
+def test_add_node_and_link():
+    t = Topology()
+    t.add_node("a")
+    t.add_node("b")
+    link = t.add_link("a", "b", FixedLatency(0.05))
+    assert t.link_between("a", "b") is link
+    assert t.link_between("b", "a") is link
+    assert t.neighbors("a") == {"b"}
+
+
+def test_duplicate_node_rejected():
+    t = Topology()
+    t.add_node("a")
+    with pytest.raises(SimulationError):
+        t.add_node("a")
+
+
+def test_self_link_rejected():
+    t = Topology()
+    t.add_node("a")
+    with pytest.raises(SimulationError):
+        t.add_link("a", "a")
+
+
+def test_duplicate_link_rejected_both_directions():
+    t = Topology()
+    t.add_node("a")
+    t.add_node("b")
+    t.add_link("a", "b")
+    with pytest.raises(SimulationError):
+        t.add_link("b", "a")
+
+
+def test_route_direct_and_multihop():
+    t = line(["a", "b", "c"], FixedLatency(0.01))
+    assert len(t.route("a", "b")) == 1
+    assert len(t.route("a", "c")) == 2
+    assert t.expected_latency("a", "c") == pytest.approx(0.02)
+
+
+def test_route_to_self_is_empty():
+    t = line(["a", "b"])
+    assert t.route("a", "a") == []
+    assert t.expected_latency("a", "a") == 0.0
+
+
+def test_route_prefers_lower_latency_path():
+    t = Topology()
+    for n in ["a", "b", "c"]:
+        t.add_node(n)
+    t.add_link("a", "c", FixedLatency(1.0))       # direct but slow
+    t.add_link("a", "b", FixedLatency(0.1))
+    t.add_link("b", "c", FixedLatency(0.1))       # two hops but fast
+    path = t.route("a", "c")
+    assert len(path) == 2
+    assert t.expected_latency("a", "c") == pytest.approx(0.2)
+
+
+def test_link_down_cuts_route():
+    t = line(["a", "b", "c"])
+    t.set_link_up("a", "b", False)
+    assert t.route("a", "c") is None
+    assert not t.connected("a", "c")
+    t.set_link_up("a", "b", True)
+    assert t.connected("a", "c")
+
+
+def test_down_intermediate_node_cuts_route():
+    t = line(["a", "b", "c"])
+    t.set_node_up("b", False)
+    assert t.route("a", "c") is None
+    # a<->b link also unusable because b itself is down
+    assert t.route("a", "b") is None
+
+
+def test_route_cache_invalidated_on_change():
+    t = line(["a", "b", "c"])
+    assert t.connected("a", "c")
+    t.set_link_up("b", "c", False)
+    assert not t.connected("a", "c")
+
+
+def test_full_mesh_builder():
+    t = full_mesh(["a", "b", "c", "d"], FixedLatency(0.01))
+    assert len(t.links()) == 6
+    assert all(len(t.route(a, b)) == 1 for a in "abcd" for b in "abcd" if a != b)
+
+
+def test_star_builder():
+    t = star("hub", ["l1", "l2", "l3"])
+    assert len(t.links()) == 3
+    assert len(t.route("l1", "l2")) == 2  # via hub
+
+
+def test_wan_clusters_builder():
+    t = wan_clusters([3, 3], FixedLatency(0.001), FixedLatency(0.1))
+    assert len(t.nodes()) == 6
+    # intra-cluster is fast, inter-cluster is slow
+    assert t.expected_latency("n0.1", "n0.2") == pytest.approx(0.001)
+    assert t.expected_latency("n0.1", "n1.1") >= 0.1
+
+
+def test_fixed_latency_model():
+    m = FixedLatency(0.05)
+    assert m.sample(None) == 0.05
+    assert m.expected() == 0.05
+    with pytest.raises(SimulationError):
+        FixedLatency(-0.1)
+
+
+def test_uniform_latency_model():
+    s = RandomRouter(1).stream("lat")
+    m = UniformLatency(0.01, 0.03)
+    assert m.expected() == pytest.approx(0.02)
+    for _ in range(50):
+        assert 0.01 <= m.sample(s) <= 0.03
+    with pytest.raises(SimulationError):
+        UniformLatency(0.03, 0.01)
+
+
+def test_pareto_latency_model():
+    s = RandomRouter(2).stream("lat")
+    m = ParetoLatency(0.05, alpha=2.5)
+    assert m.expected() == pytest.approx(0.05 * 2.5 / 1.5)
+    for _ in range(50):
+        assert m.sample(s) >= 0.05
+    with pytest.raises(SimulationError):
+        ParetoLatency(0.05, alpha=1.0)
+
+
+def test_unknown_endpoint_raises():
+    t = line(["a", "b"])
+    with pytest.raises(SimulationError):
+        t.route("a", "zzz")
+
+
+def test_ring_builder():
+    from repro.net import ring
+    t = ring(["a", "b", "c", "d"], FixedLatency(0.01))
+    assert len(t.links()) == 4
+    # one cut: still connected the long way
+    t.set_link_up("a", "b", False)
+    assert t.connected("a", "b")
+    assert len(t.route("a", "b")) == 3
+    # two cuts: partitioned
+    t.set_link_up("c", "d", False)
+    assert not t.connected("b", "d") or not t.connected("a", "c")
+
+
+def test_ring_needs_three_nodes():
+    from repro.net import ring
+    with pytest.raises(SimulationError):
+        ring(["a", "b"])
+
+
+def test_random_graph_connected_and_deterministic():
+    from repro.net import random_graph
+    from repro.sim.rng import RandomRouter
+
+    def build(seed):
+        stream = RandomRouter(seed).stream("topo")
+        return random_graph([f"n{i}" for i in range(10)], stream,
+                            edge_probability=0.2)
+
+    t1, t2 = build(4), build(4)
+    pairs1 = {frozenset((l.a, l.b)) for l in t1.links()}
+    pairs2 = {frozenset((l.a, l.b)) for l in t2.links()}
+    assert pairs1 == pairs2                         # deterministic
+    for i in range(1, 10):
+        assert t1.connected("n0", f"n{i}")          # patched connected
+    t3 = build(5)
+    pairs3 = {frozenset((l.a, l.b)) for l in t3.links()}
+    assert pairs1 != pairs3                         # seed-sensitive
+
+
+def test_random_graph_without_patching_may_disconnect():
+    from repro.net import random_graph
+    from repro.sim.rng import RandomRouter
+
+    stream = RandomRouter(1).stream("topo")
+    t = random_graph([f"n{i}" for i in range(12)], stream,
+                     edge_probability=0.05, ensure_connected=False)
+    # with p=0.05 on 12 nodes some pair is almost surely disconnected
+    disconnected = any(
+        not t.connected("n0", f"n{i}") for i in range(1, 12)
+    )
+    assert disconnected

@@ -1,0 +1,25 @@
+"""The `python -m repro` front door."""
+
+from repro.__main__ import main
+
+
+def test_overview(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "Specifying Weak Sets" in out
+    for spec_id in ["fig1", "fig3", "fig4", "fig5", "fig6"]:
+        assert spec_id in out
+
+
+def test_specs_mode(capsys):
+    assert main(["--specs"]) == 0
+    out = capsys.readouterr().out
+    assert "remembers yielded" in out
+    assert "Figure 6" in out
+
+
+def test_demo_mode(capsys):
+    assert main(["--demo"]) == 0
+    out = capsys.readouterr().out
+    assert "CONFORMS" in out
+    assert "yielded 4 items" in out

@@ -1,0 +1,74 @@
+"""Tests for seed-derived random streams."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import RandomRouter
+
+
+def test_same_seed_same_sequence():
+    a = RandomRouter(7).stream("x")
+    b = RandomRouter(7).stream("x")
+    assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+
+def test_different_names_different_sequences():
+    r = RandomRouter(7)
+    xs = [r.stream("x").random() for _ in range(10)]
+    ys = [r.stream("y").random() for _ in range(10)]
+    assert xs != ys
+
+
+def test_stream_is_cached_and_continues():
+    r = RandomRouter(7)
+    first = r.stream("x").random()
+    second = r.stream("x").random()
+    fresh = RandomRouter(7).stream("x")
+    assert [first, second] == [fresh.random(), fresh.random()]
+
+
+def test_adding_a_stream_does_not_perturb_others():
+    r1 = RandomRouter(3)
+    s1 = r1.stream("net")
+    seq1 = [s1.random() for _ in range(5)]
+
+    r2 = RandomRouter(3)
+    r2.stream("completely-new-consumer").random()
+    s2 = r2.stream("net")
+    seq2 = [s2.random() for _ in range(5)]
+    assert seq1 == seq2
+
+
+@given(st.integers(min_value=1, max_value=200), st.floats(min_value=0.0, max_value=3.0))
+def test_zipf_index_in_range(n, skew):
+    s = RandomRouter(1).stream("zipf")
+    for _ in range(20):
+        assert 0 <= s.zipf_index(n, skew) < n
+
+
+def test_zipf_skew_prefers_low_indices():
+    s = RandomRouter(5).stream("zipf")
+    draws = [s.zipf_index(100, skew=1.5) for _ in range(2000)]
+    low = sum(1 for d in draws if d < 10)
+    assert low > len(draws) * 0.4  # heavily concentrated at the head
+
+
+@given(st.floats(min_value=0.001, max_value=100.0))
+def test_exponential_nonnegative(mean):
+    s = RandomRouter(2).stream("exp")
+    assert s.exponential(mean) >= 0.0
+
+
+def test_exponential_zero_mean_is_zero():
+    assert RandomRouter(0).stream("e").exponential(0.0) == 0.0
+
+
+def test_bernoulli_extremes():
+    s = RandomRouter(9).stream("b")
+    assert not any(s.bernoulli(0.0) for _ in range(100))
+    assert all(s.bernoulli(1.0) for _ in range(100))
+
+
+def test_pareto_latency_at_least_floor():
+    s = RandomRouter(4).stream("p")
+    for _ in range(100):
+        assert s.pareto_latency(0.05) >= 0.05

@@ -1,0 +1,226 @@
+"""Checker internals: reports, history clipping, the weak guarantee."""
+
+import pytest
+
+from repro.spec import (
+    ConformanceReport,
+    Returned,
+    Yielded,
+    check_conformance,
+    spec_by_id,
+    weak_guarantee_violations,
+)
+from repro.spec.checker import _clip
+from repro.spec.iterspec import SpecViolationDetail
+from repro.spec.state import InvocationRecord, StateSnapshot
+from repro.spec.trace import IterationTrace
+from repro.store import Element
+
+from helpers import CLIENT, drain_all, standard_world
+
+
+def elem(name):
+    return Element(name=name, oid=f"oid-{name}", home="s0")
+
+
+A, B = elem("a"), elem("b")
+
+
+def snapshot(t, members, reach_nodes=("client", "s0")):
+    return StateSnapshot(time=t, members=frozenset(members),
+                         reachable_nodes=frozenset(reach_nodes))
+
+
+def simple_trace(outcomes):
+    """Build a trace from a list of (yielded_pre, outcome, members)."""
+    trace = IterationTrace(coll_id="c", client="client", impl_name="manual")
+    for i, (pre, outcome, members) in enumerate(outcomes):
+        post = pre | {outcome.element} if isinstance(outcome, Yielded) else pre
+        trace.invocations.append(InvocationRecord(
+            index=i, t_invoke=float(i), t_complete=float(i) + 0.5,
+            yielded_pre=frozenset(pre), yielded_post=frozenset(post),
+            outcome=outcome, snapshots=(snapshot(float(i), members),),
+        ))
+    if trace.invocations:
+        trace.first_candidates = trace.invocations[0].snapshots
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# report formatting
+# ---------------------------------------------------------------------------
+
+def test_report_summary_conformant():
+    report = ConformanceReport(spec_id="fig6", impl_name="x")
+    assert report.conformant
+    assert "CONFORMS" in report.summary()
+    assert report.counterexample() is None
+
+
+def test_report_summary_with_violations():
+    report = ConformanceReport(
+        spec_id="fig3", impl_name="x",
+        ensures_violations=[SpecViolationDetail(2, "boom")],
+    )
+    assert not report.conformant
+    assert "VIOLATES" in report.summary()
+    assert "1 ensures" in report.summary()
+    assert "boom" in report.counterexample()
+
+
+# ---------------------------------------------------------------------------
+# history clipping
+# ---------------------------------------------------------------------------
+
+def test_clip_keeps_value_in_force_at_window_start():
+    history = [(0.0, frozenset({A})), (5.0, frozenset({A, B}))]
+    clipped = _clip(history, 2.0, 10.0)
+    assert clipped == [(0.0, frozenset({A})), (5.0, frozenset({A, B}))]
+
+
+def test_clip_excludes_changes_after_window():
+    history = [(0.0, frozenset({A})), (5.0, frozenset({A, B}))]
+    clipped = _clip(history, 0.0, 4.0)
+    assert clipped == [(0.0, frozenset({A}))]
+
+
+def test_clip_empty_before_history():
+    history = [(3.0, frozenset({A}))]
+    assert _clip(history, 0.0, 1.0) == []
+
+
+# ---------------------------------------------------------------------------
+# weak guarantee
+# ---------------------------------------------------------------------------
+
+def test_weak_guarantee_accepts_members_of_any_window_state():
+    trace = simple_trace([
+        (frozenset(), Yielded(A), {A}),
+        (frozenset({A}), Yielded(B), {B}),    # A was removed, B added
+        (frozenset({A, B}), Returned(), {B}),
+    ])
+    history = [(0.0, frozenset({A})), (0.9, frozenset({B}))]
+    assert weak_guarantee_violations(trace, history) == []
+
+
+def test_weak_guarantee_flags_never_members():
+    ghost = elem("never-a-member")
+    trace = simple_trace([
+        (frozenset(), Yielded(ghost), {A}),
+        (frozenset({ghost}), Returned(), {A}),
+    ])
+    history = [(0.0, frozenset({A}))]
+    problems = weak_guarantee_violations(trace, history)
+    assert len(problems) == 1
+    assert "never a member" in problems[0]
+
+
+def test_weak_guarantee_empty_trace():
+    trace = IterationTrace(coll_id="c", client="client")
+    assert weak_guarantee_violations(trace, []) == []
+
+
+# ---------------------------------------------------------------------------
+# explicit-history checking (no world required)
+# ---------------------------------------------------------------------------
+
+def test_check_conformance_with_explicit_history():
+    trace = simple_trace([
+        (frozenset(), Yielded(A), {A, B}),
+        (frozenset({A}), Yielded(B), {A, B}),
+        (frozenset({A, B}), Returned(), {A, B}),
+    ])
+    history = [(0.0, frozenset({A, B}))]
+    report = check_conformance(trace, spec_by_id("fig3"), history=history)
+    assert report.conformant, report.counterexample()
+
+
+def test_check_conformance_requires_world_or_history():
+    trace = simple_trace([])
+    with pytest.raises(ValueError):
+        check_conformance(trace, spec_by_id("fig6"))
+
+
+def test_returning_early_violates_fig6():
+    trace = simple_trace([
+        (frozenset(), Yielded(A), {A, B}),
+        (frozenset({A}), Returned(), {A, B}),   # B never yielded!
+    ])
+    history = [(0.0, frozenset({A, B}))]
+    report = check_conformance(trace, spec_by_id("fig6"), history=history)
+    assert not report.conformant
+    assert any("returns" in str(v) or "suspends" in str(v)
+               for v in report.ensures_violations)
+
+
+def test_failing_violates_fig6_but_not_fig5():
+    from repro.spec import Failed
+    trace = simple_trace([
+        (frozenset(), Yielded(A), {A, B}),
+        # B exists but is unreachable (reach nodes exclude its home)...
+    ])
+    trace.invocations.append(InvocationRecord(
+        index=1, t_invoke=1.0, t_complete=1.5,
+        yielded_pre=frozenset({A}), yielded_post=frozenset({A}),
+        outcome=Failed("pessimism"),
+        snapshots=(StateSnapshot(time=1.0, members=frozenset({A, B}),
+                                 reachable_nodes=frozenset({"client"})),),
+    ))
+    history = [(0.0, frozenset({A, B}))]
+    fig5 = check_conformance(trace, spec_by_id("fig5"), history=history)
+    assert fig5.conformant, fig5.counterexample()
+    fig6 = check_conformance(trace, spec_by_id("fig6"), history=history)
+    assert not fig6.conformant
+
+
+# ---------------------------------------------------------------------------
+# counterexample minimization
+# ---------------------------------------------------------------------------
+
+def test_minimal_prefix_of_conformant_trace_is_none():
+    from repro.spec import minimal_violating_prefix
+    trace = simple_trace([
+        (frozenset(), Yielded(A), {A}),
+        (frozenset({A}), Returned(), {A}),
+    ])
+    history = [(0.0, frozenset({A}))]
+    assert minimal_violating_prefix(trace, spec_by_id("fig6"), history) is None
+
+
+def test_minimal_prefix_finds_first_bad_invocation():
+    from repro.spec import minimal_violating_prefix
+    # invocation 1 returns early (B unyielded) — the violation; the
+    # trailing invocations are noise the minimizer should drop
+    trace = simple_trace([
+        (frozenset(), Yielded(A), {A, B}),
+        (frozenset({A}), Returned(), {A, B}),
+    ])
+    history = [(0.0, frozenset({A, B}))]
+    minimal = minimal_violating_prefix(trace, spec_by_id("fig6"), history)
+    assert minimal is not None
+    assert len(minimal.invocations) == 2
+
+
+def test_minimal_prefix_shrinks_long_traces():
+    from repro.spec import Failed, minimal_violating_prefix
+    # a fig6-forbidden failure at index 1, followed by junk that the
+    # structural checker would also flag — minimization cuts it all off
+    trace = simple_trace([
+        (frozenset(), Yielded(A), {A, B}),
+    ])
+    trace.invocations.append(InvocationRecord(
+        index=1, t_invoke=1.0, t_complete=1.5,
+        yielded_pre=frozenset({A}), yielded_post=frozenset({A}),
+        outcome=Failed("boom"), snapshots=(snapshot(1.0, {A, B}),),
+    ))
+    trace.invocations.append(InvocationRecord(
+        index=2, t_invoke=2.0, t_complete=2.5,
+        yielded_pre=frozenset({A}), yielded_post=frozenset({A, B}),
+        outcome=Yielded(B), snapshots=(snapshot(2.0, {A, B}),),
+    ))
+    history = [(0.0, frozenset({A, B}))]
+    minimal = minimal_violating_prefix(trace, spec_by_id("fig6"), history)
+    assert minimal is not None
+    assert len(minimal.invocations) == 2          # up to the failure only
+    from repro.spec import check_conformance as cc
+    assert not cc(minimal, spec_by_id("fig6"), history=history).conformant

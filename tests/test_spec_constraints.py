@@ -1,0 +1,127 @@
+"""Constraint clauses: immutable, grow-only, trivial, per-run."""
+
+from hypothesis import given, strategies as st
+
+from repro.spec import (
+    GrowOnlyConstraint,
+    ImmutableConstraint,
+    TrivialConstraint,
+    per_run_grow_only,
+    per_run_immutable,
+)
+from repro.store import Element
+
+
+def elem(name: str) -> Element:
+    return Element(name=name, oid=f"oid-{name}", home="s0")
+
+
+A, B, C = elem("a"), elem("b"), elem("c")
+
+
+def hist(*values, times=None):
+    values = [frozenset(v) for v in values]
+    times = times or [float(i) for i in range(len(values))]
+    return list(zip(times, values))
+
+
+# ---------------------------------------------------------------------------
+# basic constraints
+# ---------------------------------------------------------------------------
+
+def test_trivial_never_violated():
+    h = hist({A}, {B}, set(), {A, B, C})
+    assert TrivialConstraint().check(h) == []
+    assert TrivialConstraint().check_pairwise(h) == []
+
+
+def test_immutable_holds_on_constant_history():
+    h = hist({A, B}, {A, B}, {A, B})
+    assert ImmutableConstraint().check(h) == []
+
+
+def test_immutable_flags_any_change():
+    h = hist({A}, {A, B})
+    v = ImmutableConstraint().check(h)
+    assert len(v) == 1
+    assert "immutable" in v[0].message
+
+
+def test_grow_only_holds_on_monotone_history():
+    h = hist(set(), {A}, {A, B}, {A, B, C})
+    assert GrowOnlyConstraint().check(h) == []
+
+
+def test_grow_only_flags_shrink():
+    h = hist({A, B}, {A})
+    assert len(GrowOnlyConstraint().check(h)) == 1
+
+
+def test_grow_only_flags_replace():
+    # {A} -> {B} is neither subset nor superset: still a violation.
+    h = hist({A}, {B})
+    assert len(GrowOnlyConstraint().check(h)) == 1
+
+
+# ---------------------------------------------------------------------------
+# consecutive-pair checking is equivalent to the paper's ∀ i<j form
+# (valid because =, ⊆ are transitive)
+# ---------------------------------------------------------------------------
+
+members_strategy = st.lists(
+    st.sets(st.sampled_from([A, B, C])), min_size=0, max_size=8
+)
+
+
+@given(members_strategy)
+def test_immutable_consecutive_equiv_pairwise(values):
+    h = hist(*values)
+    c = ImmutableConstraint()
+    assert bool(c.check(h)) == bool(c.check_pairwise(h))
+
+
+@given(members_strategy)
+def test_grow_only_consecutive_equiv_pairwise(values):
+    h = hist(*values)
+    c = GrowOnlyConstraint()
+    assert bool(c.check(h)) == bool(c.check_pairwise(h))
+
+
+# ---------------------------------------------------------------------------
+# per-run constraints
+# ---------------------------------------------------------------------------
+
+def test_per_run_immutable_allows_change_between_runs():
+    h = hist({A}, {A}, {A, B}, {A, B}, times=[0.0, 1.0, 5.0, 6.0])
+    windows = [(0.5, 1.5), (5.5, 6.5)]  # the change at t=5 is between runs
+    assert per_run_immutable().check_windows(h, windows) == []
+
+
+def test_per_run_immutable_flags_change_during_run():
+    h = hist({A}, {A, B}, times=[0.0, 1.0])
+    windows = [(0.5, 1.5)]  # the change at t=1.0 falls inside the run
+    assert len(per_run_immutable().check_windows(h, windows)) == 1
+
+
+def test_per_run_uses_value_in_force_at_window_start():
+    # value {A} from t=0; window starts at 2.0; change at 3.0 inside it
+    h = hist({A}, {A, B}, times=[0.0, 3.0])
+    assert len(per_run_immutable().check_windows(h, [(2.0, 4.0)])) == 1
+    # but if the window closes before the change, all is well
+    assert per_run_immutable().check_windows(h, [(2.0, 2.9)]) == []
+
+
+def test_per_run_grow_only_allows_shrink_between_runs():
+    h = hist({A, B}, {A}, {A, C}, times=[0.0, 4.0, 5.0])
+    windows = [(0.0, 3.0), (4.5, 6.0)]  # shrink at t=4 is between runs
+    assert per_run_grow_only().check_windows(h, windows) == []
+
+
+def test_per_run_grow_only_flags_shrink_during_run():
+    h = hist({A, B}, {A}, times=[0.0, 1.0])
+    assert len(per_run_grow_only().check_windows(h, [(0.5, 2.0)])) == 1
+
+
+def test_per_run_with_no_windows_is_vacuous():
+    h = hist({A}, set(), {B})
+    assert per_run_immutable().check_windows(h, []) == []

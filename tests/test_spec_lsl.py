@@ -1,0 +1,190 @@
+"""The LSL Set trait: axioms over random terms (hypothesis) + rendering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spec import FunctionalSet, render_all, render_spec, spec_by_id
+from repro.spec.lsl import (
+    AXIOMS,
+    Delete,
+    DifferenceOf,
+    Empty,
+    Insert,
+    IntersectionOf,
+    Term,
+    UnionOf,
+    evaluate,
+    is_subset,
+    member,
+    size,
+    terms_equal,
+)
+
+elements = st.integers(min_value=0, max_value=5)
+
+
+@st.composite
+def terms(draw, max_depth=4):
+    depth = draw(st.integers(min_value=0, max_value=max_depth))
+    if depth == 0:
+        return Empty()
+    kind = draw(st.sampled_from(["insert", "delete", "union", "diff", "inter"]))
+    if kind == "insert":
+        return Insert(draw(terms(max_depth=depth - 1)), draw(elements))
+    if kind == "delete":
+        return Delete(draw(terms(max_depth=depth - 1)), draw(elements))
+    left = draw(terms(max_depth=depth - 1))
+    right = draw(terms(max_depth=depth - 1))
+    ctor = {"union": UnionOf, "diff": DifferenceOf, "inter": IntersectionOf}[kind]
+    return ctor(left, right)
+
+
+# ---------------------------------------------------------------------------
+# evaluation and structural operations agree with the standard model
+# ---------------------------------------------------------------------------
+
+def test_basic_evaluation():
+    t = Empty().insert(1).insert(2).delete(1)
+    assert evaluate(t) == frozenset({2})
+    assert member(2, t) and not member(1, t)
+    assert size(t) == 1
+    assert "insert" in str(Empty().insert(1))
+
+
+def test_operators():
+    a = Empty().insert(1).insert(2)
+    b = Empty().insert(2).insert(3)
+    assert evaluate(a.union(b)) == frozenset({1, 2, 3})
+    assert evaluate(a.difference(b)) == frozenset({1})
+    assert evaluate(a.intersection(b)) == frozenset({2})
+    assert is_subset(a.intersection(b), a)
+
+
+@given(terms(), elements)
+def test_member_agrees_with_model(t, e):
+    assert member(e, t) == (e in evaluate(t))
+
+
+@given(terms())
+def test_size_agrees_with_model(t):
+    assert size(t) == len(evaluate(t))
+
+
+@given(terms(), terms())
+def test_terms_equal_is_model_equality(a, b):
+    assert terms_equal(a, b) == (evaluate(a) == evaluate(b))
+
+
+# ---------------------------------------------------------------------------
+# the trait's axioms hold over random terms
+# ---------------------------------------------------------------------------
+
+@given(terms(), elements)
+def test_axiom_insert_idempotent(s, e):
+    assert AXIOMS["insert-idempotent"](s, e)
+
+
+@given(terms(), elements, elements)
+def test_axiom_insert_commutative(s, e1, e2):
+    assert AXIOMS["insert-commutative"](s, e1, e2)
+
+
+@given(elements)
+def test_axiom_member_empty(e):
+    assert AXIOMS["member-empty"](e)
+
+
+@given(terms(), elements, elements)
+def test_axiom_member_insert(s, e1, e2):
+    assert AXIOMS["member-insert"](s, e1, e2)
+
+
+@given(elements)
+def test_axiom_delete_empty(e):
+    assert AXIOMS["delete-empty"](e)
+
+
+@given(terms(), elements, elements)
+def test_axiom_delete_insert(s, e1, e2):
+    assert AXIOMS["delete-insert"](s, e1, e2)
+
+
+@given(terms())
+def test_axiom_union_empty(s):
+    assert AXIOMS["union-empty"](s)
+
+
+@given(terms(), terms(), elements)
+def test_axiom_union_insert(s1, s2, e):
+    assert AXIOMS["union-insert"](s1, s2, e)
+
+
+@given(terms())
+def test_axiom_difference_empty(s):
+    assert AXIOMS["difference-empty"](s)
+
+
+def test_axiom_size_empty():
+    assert AXIOMS["size-empty"]()
+
+
+@given(terms(), elements)
+def test_axiom_size_insert(s, e):
+    assert AXIOMS["size-insert"](s, e)
+
+
+def test_evaluate_rejects_non_terms():
+    with pytest.raises(TypeError):
+        evaluate("not a term")
+    with pytest.raises(TypeError):
+        member(1, 42)
+
+
+# ---------------------------------------------------------------------------
+# rendering (the round-trip sanity check)
+# ---------------------------------------------------------------------------
+
+def test_render_fig3_mentions_reachable_and_failure():
+    text = render_spec(spec_by_id("fig3"))
+    assert "constraint s_i = s_j" in text
+    assert "signals (failure)" in text
+    assert "reachable(s_first)" in text
+    assert "fails" in text
+
+
+def test_render_fig6_has_no_failure_signal():
+    text = render_spec(spec_by_id("fig6"))
+    assert "signals" not in text
+    assert "∃ e ∈ s_pre" in text
+    assert "fails" not in text
+
+
+def test_render_fig1_ignores_reachability():
+    text = render_spec(spec_by_id("fig1"))
+    assert "reachable" not in text
+
+
+def test_render_all_covers_five_figures():
+    text = render_all()
+    for fig in ["Figure 1", "Figure 3", "Figure 4", "Figure 5", "Figure 6"]:
+        assert fig in text
+
+
+# ---------------------------------------------------------------------------
+# the two tiers agree: LSL terms vs FunctionalSet (Figure 1's value space)
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.sampled_from(["insert", "delete"]), elements),
+                max_size=20))
+def test_lsl_terms_agree_with_functional_set(ops):
+    term = Empty()
+    fset = FunctionalSet.create()
+    for op, e in ops:
+        if op == "insert":
+            term = term.insert(e)
+            fset = fset.add(e)
+        else:
+            term = term.delete(e)
+            fset = fset.remove(e)
+    assert evaluate(term) == fset.members()
+    assert size(term) == fset.size()

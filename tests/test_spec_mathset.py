@@ -1,0 +1,100 @@
+"""FunctionalSet: Figure 1's immutable set value, against Python sets."""
+
+from hypothesis import given, strategies as st
+
+from repro.spec import FunctionalSet
+
+ints = st.integers(min_value=-50, max_value=50)
+
+
+def test_create_is_empty():
+    s = FunctionalSet.create()
+    assert s.size() == 0
+    assert list(s.elements()) == []
+
+
+def test_add_returns_new_object():
+    s = FunctionalSet.create()
+    t = s.add(1)
+    assert t is not s                      # new(t)
+    assert s.size() == 0                   # s_pre unchanged (immutability)
+    assert t.members() == frozenset({1})   # t_post = s_pre ∪ {e}
+
+
+def test_remove_returns_new_object():
+    s = FunctionalSet.create().add(1).add(2)
+    t = s.remove(1)
+    assert t is not s
+    assert s.members() == frozenset({1, 2})
+    assert t.members() == frozenset({2})
+
+
+def test_remove_absent_element_is_identity_value():
+    s = FunctionalSet.create().add(1)
+    t = s.remove(99)
+    assert t == s and t is not s
+
+
+def test_elements_yields_each_exactly_once():
+    s = FunctionalSet([3, 1, 2])
+    out = list(s.elements())
+    assert sorted(out) == [1, 2, 3]
+    assert len(out) == len(set(out))
+
+
+def test_equality_and_hash_are_value_based():
+    a = FunctionalSet([1, 2])
+    b = FunctionalSet.create().add(2).add(1)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != FunctionalSet([1])
+
+
+def test_contains_len_iter():
+    s = FunctionalSet("abc")
+    assert "a" in s and "z" not in s
+    assert len(s) == 3
+    assert set(iter(s)) == {"a", "b", "c"}
+
+
+@given(st.lists(ints), ints)
+def test_add_matches_python_set(items, e):
+    """t_post = s_pre ∪ {e}"""
+    s = FunctionalSet(items)
+    assert s.add(e).members() == frozenset(items) | {e}
+
+
+@given(st.lists(ints), ints)
+def test_remove_matches_python_set(items, e):
+    """t_post = s_pre − {e}"""
+    s = FunctionalSet(items)
+    assert s.remove(e).members() == frozenset(items) - {e}
+
+
+@given(st.lists(ints))
+def test_size_matches_python_set(items):
+    """i = |s_pre|"""
+    assert FunctionalSet(items).size() == len(set(items))
+
+
+@given(st.lists(ints))
+def test_elements_is_exact_and_duplicate_free(items):
+    out = list(FunctionalSet(items).elements())
+    assert len(out) == len(set(out))
+    assert set(out) == set(items)
+
+
+@given(st.lists(st.tuples(st.sampled_from(["add", "remove"]), ints)))
+def test_operation_sequences_match_python_sets(ops):
+    """Any program over FunctionalSet agrees with the math model."""
+    s = FunctionalSet.create()
+    model: set[int] = set()
+    for op, e in ops:
+        if op == "add":
+            s = s.add(e)
+            model.add(e)
+        else:
+            s = s.remove(e)
+            model.discard(e)
+        assert s.members() == frozenset(model)
+        assert s.size() == len(model)

@@ -1,0 +1,151 @@
+"""CheckedProcedures: Figure 1's procedure post-conditions at runtime."""
+
+import pytest
+
+from repro.errors import SpecViolation
+from repro.spec import CheckedProcedures
+from repro.store import Repository
+
+from helpers import CLIENT, drain_all, standard_world
+
+
+def make_checked(strict=False, **kwargs):
+    kernel, net, world, elements = standard_world(**kwargs)
+    repo = Repository(world, CLIENT)
+    checked = CheckedProcedures(world=world, repo=repo, coll_id="coll",
+                                strict=strict)
+    return kernel, net, world, elements, checked
+
+
+def test_add_post_condition_holds():
+    kernel, net, world, elements, checked = make_checked(members=2)
+
+    def proc():
+        e = yield from checked.add("new", value="N")
+        return e
+
+    e = kernel.run_process(proc())
+    assert checked.violations == []
+    assert checked.checked_ops == 1
+    assert e in world.true_members("coll")
+
+
+def test_remove_post_condition_holds():
+    kernel, net, world, elements, checked = make_checked(members=3)
+
+    def proc():
+        yield from checked.remove(elements[0])
+
+    kernel.run_process(proc())
+    assert checked.violations == []
+    assert elements[0] not in world.true_members("coll")
+
+
+def test_size_matches_cardinality():
+    kernel, net, world, elements, checked = make_checked(members=5)
+
+    def proc():
+        return (yield from checked.size())
+
+    assert kernel.run_process(proc()) == 5
+    assert checked.violations == []
+
+
+def test_interleaved_operations_all_clean():
+    kernel, net, world, elements, checked = make_checked(members=2)
+
+    def proc():
+        added = []
+        for i in range(5):
+            added.append((yield from checked.add(f"n{i}", value=i)))
+        for e in added[:2]:
+            yield from checked.remove(e)
+        return (yield from checked.size())
+
+    size = kernel.run_process(proc())
+    assert size == 2 + 5 - 2
+    assert checked.violations == []
+    assert checked.checked_ops == 8  # 5 adds + 2 removes + 1 size
+
+
+def test_size_tolerates_concurrent_mutation():
+    """size may report |s| at any state within its window."""
+    kernel, net, world, elements, checked = make_checked(members=4)
+    from repro.store import Repository
+    other = Repository(world, "s2")
+
+    def mutator():
+        yield from other.add("coll", "concurrent", value="C")
+
+    def proc():
+        return (yield from checked.size())
+
+    kernel.spawn(mutator())
+    kernel.run_process(proc())
+    assert checked.violations == []
+
+
+def test_strict_mode_raises():
+    kernel, net, world, elements, checked = make_checked(members=1, strict=True)
+    # sabotage: pre-insert the element name bound for "add" by aliasing
+    # ground truth — simplest honest violation trigger is a repo whose
+    # add is a no-op; emulate by calling add for an existing name, which
+    # the server rejects with MutationNotAllowed before any check fires.
+    # Instead verify the strict flag via the internal _flag path:
+    with pytest.raises(SpecViolation):
+        checked._flag("add", "synthetic violation")
+
+
+def test_violations_collected_in_lenient_mode():
+    kernel, net, world, elements, checked = make_checked(members=1)
+    checked._flag("remove", "synthetic violation")
+    assert len(checked.violations) == 1
+    assert "synthetic" in str(checked.violations[0])
+
+
+def test_modifies_clause_frame_condition_clean():
+    """Operations on one collection leave every other collection alone."""
+    kernel, net, world, elements, checked = make_checked(members=2)
+    world.create_collection("other", primary="s2")
+    world.seed_member("other", "bystander", value="B")
+
+    def proc():
+        e = yield from checked.add("new", value="N")
+        yield from checked.remove(e)
+
+    kernel.run_process(proc())
+    assert checked.violations == []
+
+
+def test_modifies_clause_detects_sabotaged_frame():
+    kernel, net, world, elements, checked = make_checked(members=2)
+    world.create_collection("other", primary="s2")
+    world.seed_member("other", "bystander", value="B")
+
+    class SabotagingRepo:
+        """A repo whose add also mutates an unlisted collection."""
+
+        def __init__(self, inner):
+            self.inner = inner
+
+        def add(self, coll_id, name, value=None, home=None, size=0):
+            element = yield from self.inner.add(coll_id, name, value, home, size)
+            yield from self.inner.add("other", f"side-effect-{name}", value="!")
+            return element
+
+        def __getattr__(self, attr):
+            return getattr(self.inner, attr)
+
+    checked.repo = SabotagingRepo(checked.repo)
+
+    def proc():
+        yield from checked.add("new", value="N")
+
+    kernel.run_process(proc())
+    assert any("modifies clause" in str(v) for v in checked.violations)
+
+
+def test_frame_checking_can_be_disabled():
+    kernel, net, world, elements, checked = make_checked(members=1)
+    checked.check_frame = False
+    assert checked._frame_snapshot() == {}

@@ -1,0 +1,38 @@
+"""E8: the Garcia-Molina & Wiederhold classification matches the paper."""
+
+from repro.spec import ALL_FIGURES, classify, spec_by_id, taxonomy_table
+
+
+def test_fig3_strong_first_vintage():
+    c = classify(spec_by_id("fig3"))
+    assert c.consistency == "strong (serializable)"
+    assert c.currency == "first-vintage"
+
+
+def test_fig4_weak_first_vintage():
+    c = classify(spec_by_id("fig4"))
+    assert c.consistency == "weak"
+    assert c.currency == "first-vintage"
+
+
+def test_fig5_none_first_bound():
+    c = classify(spec_by_id("fig5"))
+    assert c.consistency == "none"
+    assert c.currency == "first-bound"
+
+
+def test_fig6_none_first_bound():
+    c = classify(spec_by_id("fig6"))
+    assert c.consistency == "none"
+    assert c.currency == "first-bound"
+
+
+def test_fig1_classifies_like_fig3():
+    # Figure 1 is the failure-free immutable set: same taxonomy cell.
+    assert classify(spec_by_id("fig1")) == classify(spec_by_id("fig3"))
+
+
+def test_taxonomy_table_covers_all_figures():
+    table = taxonomy_table()
+    assert len(table) == len(ALL_FIGURES)
+    assert {row[0] for row in table} == {s.spec_id for s in ALL_FIGURES}

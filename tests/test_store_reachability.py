@@ -1,0 +1,56 @@
+"""Tests reproducing the paper's Figure 2 reachability example."""
+
+from repro.store import figure2_world
+
+
+def test_figure2_all_reachable_initially():
+    fig = figure2_world()
+    # "reachable(a_sigma) = {alpha, beta, gamma}"
+    assert fig.reachable_from_n() == frozenset({fig.alpha, fig.beta, fig.gamma})
+
+
+def test_figure2_partition_hides_gamma():
+    fig = figure2_world()
+    fig.partition_n_from_c()
+    # "if ... there is a partition between N and C in state sigma' then
+    #  reachable(a_sigma') = {alpha, beta}"
+    assert fig.reachable_from_n() == frozenset({fig.alpha, fig.beta})
+    # existence is unaffected: gamma is still a member
+    assert fig.gamma in fig.world.true_members(fig.collection)
+
+
+def test_figure2_heal_restores_reachability():
+    fig = figure2_world()
+    fig.partition_n_from_c()
+    fig.heal()
+    assert fig.reachable_from_n() == frozenset({fig.alpha, fig.beta, fig.gamma})
+
+
+def test_figure2_crash_has_same_effect_as_partition():
+    fig = figure2_world()
+    fig.net.crash("C")
+    assert fig.reachable_from_n() == frozenset({fig.alpha, fig.beta})
+    fig.net.recover("C")
+    assert len(fig.reachable_from_n()) == 3
+
+
+def test_reachability_is_observer_relative():
+    fig = figure2_world()
+    fig.partition_n_from_c()
+    # From inside C's partition, *only* gamma is reachable.
+    from_c = fig.world.reachable_members(fig.collection, "C")
+    assert from_c == frozenset({fig.gamma})
+
+
+def test_crashed_observer_reaches_nothing():
+    fig = figure2_world()
+    fig.net.crash("N")
+    assert fig.world.reachable_members(fig.collection, "N") == frozenset()
+
+
+def test_observer_always_reaches_its_own_objects():
+    fig = figure2_world()
+    # Isolate A: from A, alpha (stored on A itself) is still reachable.
+    fig.net.isolate("A")
+    from_a = fig.world.reachable_members(fig.collection, "A")
+    assert from_a == frozenset({fig.alpha})

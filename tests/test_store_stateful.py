@@ -1,0 +1,108 @@
+"""Hypothesis stateful testing: the store against a model set.
+
+A rule-based state machine drives adds, removes, crashes, partitions,
+and heals against one collection, mirroring every accepted mutation in
+a plain Python set.  After every rule: ground truth equals the model,
+and the world invariants hold.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.errors import FailureException, StoreError
+from repro.net import FixedLatency, Network, full_mesh
+from repro.sim import Kernel
+from repro.store import Repository, World
+
+NODES = ["client", "p", "s1", "s2"]
+
+
+class StoreMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.kernel = Kernel(seed=0)
+        net = Network(self.kernel, full_mesh(NODES, FixedLatency(0.005)))
+        self.net = net
+        self.world = World(net, replica_lag=0.1)
+        self.world.create_collection("c", primary="p", replicas=["s1"])
+        self.repo = Repository(self.world, "client")
+        self.model: set = set()
+        self.elements: dict[str, object] = {}
+        self.counter = 0
+
+    # -- helpers ----------------------------------------------------------
+    def _run(self, gen):
+        try:
+            return self.kernel.run_process(gen), True
+        except (FailureException, StoreError):
+            return None, False
+
+    # -- rules ----------------------------------------------------------
+    @rule(home=st.sampled_from(["p", "s1", "s2"]))
+    def add(self, home):
+        self.counter += 1
+        name = f"m{self.counter}"
+
+        def proc():
+            return (yield from self.repo.add("c", name, value=name, home=home))
+
+        element, ok = self._run(proc())
+        if ok:
+            self.model.add(name)
+            self.elements[name] = element
+
+    @rule(pick=st.integers(min_value=0, max_value=10_000))
+    def remove(self, pick):
+        if not self.model:
+            return
+        name = sorted(self.model)[pick % len(self.model)]
+        element = self.elements[name]
+
+        def proc():
+            yield from self.repo.remove("c", element)
+
+        _, ok = self._run(proc())
+        if ok:
+            self.model.discard(name)
+
+    @rule(node=st.sampled_from(["s1", "s2"]))
+    def crash(self, node):
+        self.net.crash(node)
+
+    @rule(node=st.sampled_from(["s1", "s2"]))
+    def recover(self, node):
+        self.net.recover(node)
+
+    @rule(node=st.sampled_from(["s1", "s2"]))
+    def isolate(self, node):
+        self.net.isolate(node)
+
+    @rule()
+    def heal(self):
+        self.net.heal()
+        for node in ["s1", "s2"]:
+            self.net.recover(node)
+        # let anti-entropy settle
+        self.kernel.run(until=self.kernel.now + 0.5)
+
+    # -- invariants ----------------------------------------------------------
+    @invariant()
+    def truth_matches_model(self):
+        truth = {e.name for e in self.world.true_members("c")}
+        assert truth == self.model
+
+    @invariant()
+    def world_is_internally_consistent(self):
+        assert self.world.check_invariants() == []
+
+
+TestStoreMachine = StoreMachine.TestCase
+TestStoreMachine.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None)

@@ -1,0 +1,87 @@
+"""The software-mirror workload: weak ls and weak find over packages."""
+
+import pytest
+
+from repro.dynsets import strict_ls, weak_find, weak_ls
+from repro.net import FaultPlan
+from repro.wan import CATEGORIES, build_mirror
+
+
+def test_mirror_builds_full_tree():
+    wl = build_mirror(seed=1)
+    assert len(wl.packages) == len(CATEGORIES) * 3
+    # every category directory lists its packages (ground truth)
+    for category in CATEGORIES:
+        entries = wl.fs.listdir_truth(f"/pub/{category}")
+        assert len(entries) == 3
+
+
+def test_mirror_build_is_deterministic():
+    a = build_mirror(seed=7)
+    b = build_mirror(seed=7)
+    assert a.packages == b.packages
+    assert ({e.home for e in a.fs.listdir_truth("/pub/editors")}
+            == {e.home for e in b.fs.listdir_truth("/pub/editors")})
+
+
+def test_weak_ls_lists_category():
+    wl = build_mirror(seed=2)
+
+    def proc():
+        return (yield from weak_ls(wl.fs, wl.client, "/pub/compilers"))
+
+    result = wl.kernel.run_process(proc())
+    assert len(result.names) == 3
+    assert all(name.startswith("comp") for name in result.names)
+
+
+def test_weak_find_readmes_across_tree():
+    wl = build_mirror(seed=3)
+
+    def proc():
+        return (yield from weak_find(
+            wl.fs, wl.client, "/pub", lambda p, m: p.endswith("/README")))
+
+    result = wl.kernel.run_process(proc())
+    assert len(result.paths) == len(wl.packages)
+
+
+def test_weak_find_big_tarballs():
+    wl = build_mirror(seed=4)
+
+    def proc():
+        return (yield from weak_find(
+            wl.fs, wl.client, "/pub",
+            lambda p, m: not m.is_dir and m.size > 150_000))
+
+    result = wl.kernel.run_process(proc())
+    assert result.paths                   # some big tarballs exist
+    assert all(p.endswith(".tar.gz") for p in result.paths)
+
+
+def test_mirror_survives_site_outage():
+    wl = build_mirror(seed=5)
+    # knock out one whole mirror site
+    for node in ["n2.0", "n2.1"]:
+        wl.net.crash(node)
+
+    def proc():
+        return (yield from weak_find(
+            wl.fs, wl.client, "/pub", lambda p, m: p.endswith("/README"),
+            give_up_after=1.0))
+
+    result = wl.kernel.run_process(proc())
+    # partial answer: some READMEs found, the rest reported unreachable
+    assert result.paths
+    assert len(result.paths) + len(
+        [u for u in result.unreachable]) >= len(wl.packages) - 4
+    # the traditional command would simply fail on the first dead home
+    def strict():
+        return (yield from strict_ls(wl.fs, wl.client, "/pub/editors",
+                                     timeout=1.0))
+
+    strict_result = wl.kernel.run_process(strict())
+    # (it fails only if an editors entry lived on site 2 — check both ways)
+    homes = {e.home for e in wl.fs.listdir_truth("/pub/editors")}
+    if homes & {"n2.0", "n2.1"}:
+        assert strict_result.failed

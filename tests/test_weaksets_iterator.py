@@ -1,0 +1,143 @@
+"""Iterator protocol mechanics and WeakSet facade behaviours."""
+
+import pytest
+
+from repro.errors import IteratorProtocolError
+from repro.net import FixedLatency, Network, full_mesh
+from repro.sim import Kernel
+from repro.spec import Returned, Yielded
+from repro.store import World
+from repro.weaksets import DrainResult, DynamicSet, SnapshotSet
+
+from helpers import CLIENT, drain_all, standard_world
+
+
+def test_invoke_after_return_raises():
+    kernel, net, world, elements = standard_world(members=1)
+    ws = DynamicSet(world, CLIENT, "coll")
+    iterator = ws.elements()
+
+    def proc():
+        yield from iterator.drain()
+        try:
+            yield from iterator.invoke()
+        except IteratorProtocolError:
+            return "protocol enforced"
+
+    assert kernel.run_process(proc()) == "protocol enforced"
+
+
+def test_invoke_after_failure_raises():
+    kernel, net, world, elements = standard_world(n_servers=2, members=2)
+    net.isolate("s0")
+    ws = SnapshotSet(world, CLIENT, "coll")
+    iterator = ws.elements()
+
+    def proc():
+        result = yield from iterator.drain()
+        assert result.failed
+        try:
+            yield from iterator.invoke()
+        except IteratorProtocolError:
+            return "protocol enforced"
+
+    assert kernel.run_process(proc()) == "protocol enforced"
+
+
+def test_each_elements_call_is_independent():
+    kernel, net, world, elements = standard_world(members=3)
+    ws = DynamicSet(world, CLIENT, "coll")
+    it1 = ws.elements()
+    it2 = ws.elements()
+    assert it1 is not it2
+
+    def proc():
+        r1 = yield from it1.drain()
+        r2 = yield from it2.drain()
+        return r1, r2
+
+    r1, r2 = kernel.run_process(proc())
+    assert frozenset(r1.elements) == frozenset(r2.elements)
+    assert len(ws.traces) == 2
+
+
+def test_record_false_keeps_no_traces():
+    kernel, net, world, elements = standard_world(members=2)
+    ws = DynamicSet(world, CLIENT, "coll", record=False)
+    drain_all(kernel, ws)
+    assert ws.traces == []
+    assert ws.last_trace is None
+
+
+def test_closest_first_ordering():
+    kernel = Kernel()
+    topo = full_mesh(
+        ["client", "near", "far"],
+        latency_for=lambda a, b: FixedLatency(
+            0.001 if {a, b} == {"client", "near"} else 0.5),
+    )
+    net = Network(kernel, topo)
+    world = World(net)
+    world.create_collection("c", primary="near")
+    far_e = world.seed_member("c", "aaa-far", home="far")     # alphabetically first
+    near_e = world.seed_member("c", "zzz-near", home="near")
+    ws = DynamicSet(world, "client", "c")
+    iterator = ws.elements()
+    ordered = iterator.closest_first(frozenset({far_e, near_e}))
+    assert ordered == [near_e, far_e]     # latency beats alphabet
+
+
+def test_closest_first_unreachable_sorts_last():
+    kernel, net, world, elements = standard_world(n_servers=3, members=3)
+    net.isolate("s0")
+    ws = DynamicSet(world, CLIENT, "coll")
+    iterator = ws.elements()
+    ordered = iterator.closest_first(frozenset(elements))
+    assert ordered[-1].home == "s0"
+
+
+def test_drain_result_properties():
+    kernel, net, world, elements = standard_world(members=3)
+    ws = DynamicSet(world, CLIENT, "coll")
+    result = drain_all(kernel, ws)
+    assert isinstance(result, DrainResult)
+    assert len(result.values) == 3
+    assert not result.failed
+    assert result.time_to_first is not None
+    assert result.time_to_first <= result.total_time
+    assert "3 yields" in repr(result)
+
+
+def test_drain_result_empty_set():
+    kernel, net, world, _ = standard_world(members=0)
+    ws = DynamicSet(world, CLIENT, "coll")
+    result = drain_all(kernel, ws)
+    assert result.elements == []
+    assert result.time_to_first is None
+    assert isinstance(result.outcome, Returned)
+
+
+def test_drain_max_yields_leaves_iterator_resumable():
+    kernel, net, world, elements = standard_world(members=5)
+    ws = DynamicSet(world, CLIENT, "coll")
+    iterator = ws.elements()
+
+    def proc():
+        first_two = yield from iterator.drain(max_yields=2)
+        assert not iterator.terminated
+        rest = yield from iterator.drain()
+        return first_two.elements + rest.elements
+
+    got = kernel.run_process(proc())
+    assert frozenset(got) == frozenset(elements)
+
+
+def test_weakset_size_and_repr():
+    kernel, net, world, elements = standard_world(members=4)
+    ws = DynamicSet(world, CLIENT, "coll")
+
+    def proc():
+        return (yield from ws.size())
+
+    assert kernel.run_process(proc()) == 4
+    assert "coll" in repr(ws) and "fig6" in repr(ws)

@@ -1,0 +1,77 @@
+"""Predicate queries over weak sets."""
+
+import pytest
+
+from repro.spec import Returned
+from repro.weaksets import DynamicSet, select
+
+from helpers import CLIENT, drain_all, standard_world
+
+
+def test_select_filters_by_value():
+    kernel, net, world, elements = standard_world(members=6)
+    ws = DynamicSet(world, CLIENT, "coll")
+    q = select(ws, lambda e, v: v in {"v0", "v2", "v4"})
+
+    def proc():
+        return (yield from q.drain())
+
+    result = kernel.run_process(proc())
+    assert sorted(v for v in result.values) == ["v0", "v2", "v4"]
+    assert q.examined == 6
+    assert q.matched == 3
+
+
+def test_select_filters_by_element_name():
+    kernel, net, world, elements = standard_world(members=5)
+    ws = DynamicSet(world, CLIENT, "coll")
+    q = select(ws, lambda e, v: e.name.endswith("3"))
+
+    def proc():
+        return (yield from q.drain())
+
+    result = kernel.run_process(proc())
+    assert [e.name for e in result.elements] == ["m003"]
+
+
+def test_select_nothing_matches():
+    kernel, net, world, elements = standard_world(members=4)
+    ws = DynamicSet(world, CLIENT, "coll")
+    q = select(ws, lambda e, v: False)
+
+    def proc():
+        return (yield from q.drain())
+
+    result = kernel.run_process(proc())
+    assert result.elements == []
+    assert isinstance(result.outcome, Returned)
+    assert q.terminated
+
+
+def test_select_with_max_yields_stops_early():
+    kernel, net, world, elements = standard_world(members=8)
+    ws = DynamicSet(world, CLIENT, "coll")
+    q = select(ws, lambda e, v: True)
+
+    def proc():
+        return (yield from q.drain(max_yields=3))
+
+    result = kernel.run_process(proc())
+    assert len(result.elements) == 3
+    assert not q.terminated            # still resumable
+
+
+def test_query_inherits_underlying_semantics():
+    """A query over a weak iterator sees mutations exactly as it does."""
+    kernel, net, world, elements = standard_world(members=3)
+    ws = DynamicSet(world, CLIENT, "coll")
+    q = select(ws, lambda e, v: True)
+
+    def proc():
+        first = yield from q.invoke()
+        yield from ws.repo.add("coll", "zz-new", value="vN")
+        rest = yield from q.drain()
+        return [first.element] + rest.elements
+
+    got = kernel.run_process(proc())
+    assert "zz-new" in {e.name for e in got}

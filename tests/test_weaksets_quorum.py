@@ -1,0 +1,96 @@
+"""QuorumGrowOnlySet: Figure 5 with quorum reads of s_pre."""
+
+import pytest
+
+from repro.sim import Sleep
+from repro.spec import Failed, Returned, check_conformance, spec_by_id
+from repro.weaksets import GrowOnlySet, QuorumGrowOnlySet
+
+from helpers import CLIENT, PRIMARY, drain_all, standard_world
+
+
+def quorum_world(**kwargs):
+    # primary s0 + replicas s1, s2 => quorum is any 2 of 3
+    return standard_world(policy="grow-only", replicas=2, **kwargs)
+
+
+def test_iterates_like_fig5_on_quiet_world():
+    kernel, net, world, elements = quorum_world(members=6)
+    ws = QuorumGrowOnlySet(world, CLIENT, "coll")
+    result = drain_all(kernel, ws)
+    assert isinstance(result.outcome, Returned)
+    assert frozenset(result.elements) == frozenset(elements)
+    report = check_conformance(ws.last_trace, spec_by_id("fig5"), world)
+    assert report.conformant, report.counterexample()
+
+
+def test_survives_primary_crash_where_plain_fig5_dies():
+    kernel, net, world, elements = quorum_world(members=6)
+    net.crash(PRIMARY)
+    # seeded members all live on s0..s3; those on the crashed primary
+    # are unreachable, so even the quorum variant eventually fails —
+    # but it *reads membership* fine and yields everything reachable.
+    ws = QuorumGrowOnlySet(world, CLIENT, "coll")
+    result = drain_all(kernel, ws)
+    reachable = {e for e in elements if e.home != PRIMARY}
+    assert frozenset(result.elements) == reachable
+
+    # plain fig5 fails instantly: it cannot even read s_pre
+    kernel2, net2, world2, elements2 = quorum_world(members=6)
+    net2.crash(PRIMARY)
+    plain = GrowOnlySet(world2, CLIENT, "coll")
+    result2 = drain_all(kernel2, plain)
+    assert result2.failed
+    assert result2.elements == []
+
+
+def test_completes_fully_when_no_member_on_primary():
+    kernel, net, world, _ = quorum_world(members=0)
+    elements = [world.seed_member("coll", f"x{i}", value=i, home=f"s{1 + i % 3}")
+                for i in range(5)]
+    net.crash(PRIMARY)
+    ws = QuorumGrowOnlySet(world, CLIENT, "coll")
+    result = drain_all(kernel, ws)
+    assert isinstance(result.outcome, Returned)
+    assert frozenset(result.elements) == frozenset(elements)
+
+
+def test_fails_without_quorum():
+    kernel, net, world, elements = quorum_world(members=4)
+    net.crash("s0")
+    net.crash("s1")      # 1 of 3 hosts left: no majority
+    ws = QuorumGrowOnlySet(world, CLIENT, "coll")
+    result = drain_all(kernel, ws)
+    assert result.failed
+    assert "quorum" in str(result.outcome)
+
+
+def test_merged_view_is_union_of_host_views():
+    kernel, net, world, elements = quorum_world(members=3, replica_lag=0.2)
+    ws = QuorumGrowOnlySet(world, CLIENT, "coll")
+
+    def proc():
+        # add a member; replicas lag, but the quorum read includes the
+        # primary, whose view has it
+        e = yield from ws.repo.add("coll", "zz-new", value="N", home="s2")
+        result = yield from ws.elements().drain()
+        return e, result
+
+    e, result = kernel.run_process(proc())
+    assert e in result.elements
+
+
+def test_sees_growth_during_run():
+    kernel, net, world, elements = quorum_world(members=3)
+    ws = QuorumGrowOnlySet(world, CLIENT, "coll")
+    iterator = ws.elements()
+
+    def proc():
+        first = yield from iterator.invoke()
+        late = yield from ws.repo.add("coll", "zz-late", value="L")
+        yield Sleep(1.0)   # one anti-entropy round
+        rest = yield from iterator.drain()
+        return late, [first.element] + rest.elements
+
+    late, got = kernel.run_process(proc())
+    assert late in got

@@ -1,0 +1,152 @@
+"""SnapshotSet (Figure 4): first-state snapshot, loss of mutations."""
+
+import pytest
+
+from repro.sim import Sleep
+from repro.spec import Failed, Returned, Yielded, check_conformance, spec_by_id
+from repro.weaksets import SnapshotSet
+
+from helpers import CLIENT, PRIMARY, drain_all, standard_world
+
+
+def test_yields_exactly_the_snapshot():
+    kernel, net, world, elements = standard_world(members=6)
+    ws = SnapshotSet(world, CLIENT, "coll")
+    result = drain_all(kernel, ws)
+    assert not result.failed
+    assert frozenset(result.elements) == frozenset(elements)
+    assert isinstance(result.outcome, Returned)
+
+
+def test_values_are_fetched():
+    kernel, net, world, elements = standard_world(members=3)
+    ws = SnapshotSet(world, CLIENT, "coll")
+    result = drain_all(kernel, ws)
+    assert sorted(result.values) == ["v0", "v1", "v2"]
+
+
+def test_conforms_to_fig4_on_quiet_world():
+    kernel, net, world, elements = standard_world(members=5)
+    ws = SnapshotSet(world, CLIENT, "coll")
+    drain_all(kernel, ws)
+    report = check_conformance(ws.last_trace, spec_by_id("fig4"), world)
+    assert report.conformant, report.counterexample()
+
+
+def test_misses_addition_made_after_first_invocation():
+    kernel, net, world, elements = standard_world(members=4)
+    ws = SnapshotSet(world, CLIENT, "coll")
+    iterator = ws.elements()
+
+    def proc():
+        first = yield from iterator.invoke()
+        assert isinstance(first, Yielded)
+        # mutate after the snapshot was taken
+        late = yield from ws.repo.add("coll", "late-arrival", value="L")
+        rest = yield from iterator.drain()
+        return late, [first.element] + rest.elements
+
+    late, got = kernel.run_process(proc())
+    assert late not in got                 # the mutation was "lost"
+    assert frozenset(got) == frozenset(elements)
+    # and the trace still conforms to fig4 (loss is the specified behaviour)
+    report = check_conformance(ws.last_trace, spec_by_id("fig4"), world)
+    assert report.conformant, report.counterexample()
+
+
+def test_yields_element_removed_mid_run_with_none_value():
+    kernel, net, world, elements = standard_world(members=4)
+    ws = SnapshotSet(world, CLIENT, "coll")
+    iterator = ws.elements()
+
+    def proc():
+        first = yield from iterator.invoke()
+        # remove a not-yet-yielded element
+        victim = next(e for e in elements if e != first.element)
+        yield from ws.repo.remove("coll", victim)
+        rest = yield from iterator.drain()
+        yielded = {first.element: first.value}
+        yielded.update({y.element: y.value for y in rest.yields})
+        return victim, yielded
+
+    victim, yielded = kernel.run_process(proc())
+    assert victim in yielded               # Fig 4: removed element still yielded
+    assert yielded[victim] is None         # but its data is gone
+    report = check_conformance(ws.last_trace, spec_by_id("fig4"), world)
+    assert report.conformant, report.counterexample()
+
+
+def test_violates_fig3_constraint_when_set_mutates():
+    """Same ensures clause as Fig 3, but the immutability constraint
+    distinguishes them: a mutated history breaks fig3, not fig4."""
+    kernel, net, world, elements = standard_world(members=3)
+    ws = SnapshotSet(world, CLIENT, "coll")
+    iterator = ws.elements()
+
+    def proc():
+        yield from iterator.invoke()
+        yield from ws.repo.add("coll", "new", value="N")
+        yield from iterator.drain()
+
+    kernel.run_process(proc())
+    fig3 = check_conformance(ws.last_trace, spec_by_id("fig3"), world)
+    fig4 = check_conformance(ws.last_trace, spec_by_id("fig4"), world)
+    assert not fig3.conformant
+    assert fig3.constraint_violations        # specifically the constraint
+    assert fig4.conformant, fig4.counterexample()
+
+
+def test_fails_when_primary_unreachable_at_first_invocation():
+    kernel, net, world, elements = standard_world(members=3)
+    net.isolate(PRIMARY)
+    ws = SnapshotSet(world, CLIENT, "coll")
+    result = drain_all(kernel, ws)
+    assert result.failed
+    assert result.elements == []
+
+
+def test_skips_unreachable_then_fails_when_all_unreachable():
+    kernel, net, world, elements = standard_world(n_servers=3, members=3)
+    # members on s0, s1, s2; cut off s1 after the snapshot
+    ws = SnapshotSet(world, CLIENT, "coll")
+    iterator = ws.elements()
+
+    def proc():
+        out = yield from iterator.invoke()   # snapshot + first yield
+        net.split([CLIENT])                  # now everything is unreachable
+        nxt = yield from iterator.invoke()
+        return out, nxt
+
+    out, nxt = kernel.run_process(proc())
+    assert isinstance(out, Yielded)
+    assert isinstance(nxt, Failed)
+    report = check_conformance(ws.last_trace, spec_by_id("fig4"), world)
+    assert report.conformant, report.counterexample()
+
+
+def test_partial_reachability_yields_reachable_subset_first():
+    kernel, net, world, elements = standard_world(n_servers=4, members=8)
+    # isolate one server holding members m1, m5 (homes s1)
+    net.split([CLIENT, "s0", "s2", "s3"], ["s1"])
+    ws = SnapshotSet(world, CLIENT, "coll")
+    result = drain_all(kernel, ws)
+    assert result.failed                      # pessimistic: s1's members unreachable
+    reachable = {e for e in elements if e.home != "s1"}
+    assert frozenset(result.elements) == reachable
+    report = check_conformance(ws.last_trace, spec_by_id("fig4"), world)
+    assert report.conformant, report.counterexample()
+
+
+def test_two_runs_can_return_different_sets():
+    """'Running the same query twice in a row may return different sets.'"""
+    kernel, net, world, elements = standard_world(members=3)
+    ws = SnapshotSet(world, CLIENT, "coll")
+    r1 = drain_all(kernel, ws)
+
+    def mutate():
+        yield from ws.repo.add("coll", "extra", value="E")
+
+    kernel.run_process(mutate())
+    r2 = drain_all(kernel, ws)
+    assert frozenset(r1.elements) != frozenset(r2.elements)
+    assert len(r2.elements) == 4

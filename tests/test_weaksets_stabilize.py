@@ -1,0 +1,81 @@
+"""iterate_until_stable: the paper's run-it-again idiom."""
+
+import pytest
+
+from repro.sim import Sleep
+from repro.weaksets import DynamicSet, GrowOnlySet, iterate_until_stable
+
+from helpers import CLIENT, standard_world
+
+
+def test_stable_in_two_rounds_on_quiet_world():
+    kernel, net, world, elements = standard_world(members=5)
+    ws = DynamicSet(world, CLIENT, "coll")
+
+    def proc():
+        return (yield from iterate_until_stable(ws))
+
+    result = kernel.run_process(proc())
+    assert result.stable
+    assert result.rounds == 2
+    assert result.final == frozenset(elements)
+    assert result.discrepancies == frozenset()
+
+
+def test_converges_after_one_mutation():
+    kernel, net, world, elements = standard_world(members=4)
+    ws = DynamicSet(world, CLIENT, "coll")
+    state = {"mutated": False}
+
+    def mutate_once():
+        yield Sleep(0.15)
+        if not state["mutated"]:
+            state["mutated"] = True
+            yield from ws.repo.add("coll", "zz-new", value="N")
+
+    def proc():
+        return (yield from iterate_until_stable(ws, max_rounds=6))
+
+    kernel.spawn(mutate_once(), daemon=True)
+    result = kernel.run_process(proc())
+    assert result.stable
+    assert len(result.final) == 5
+    # the discrepancy surfaced in earlier answers before stabilizing
+    assert result.rounds >= 2
+
+
+def test_unstable_under_continuous_churn():
+    kernel, net, world, elements = standard_world(members=4)
+    ws = DynamicSet(world, CLIENT, "coll")
+    counter = {"n": 0}
+
+    def churn():
+        while True:
+            yield Sleep(0.2)
+            counter["n"] += 1
+            yield from ws.repo.add("coll", f"zz-{counter['n']}", value=counter["n"])
+
+    def proc():
+        return (yield from iterate_until_stable(ws, max_rounds=3,
+                                                pause_between=0.2))
+
+    kernel.spawn(churn(), daemon=True)
+    result = kernel.run_process(proc())
+    assert not result.stable
+    assert result.rounds == 3
+    assert result.discrepancies          # the honest answer: still moving
+
+
+def test_failed_rounds_do_not_count_as_agreement():
+    kernel, net, world, elements = standard_world(
+        n_servers=3, members=3, policy="grow-only")
+    net.crash("s1")   # one member unreachable: fig5 runs fail
+    ws = GrowOnlySet(world, CLIENT, "coll")
+
+    def proc():
+        return (yield from iterate_until_stable(ws, max_rounds=3))
+
+    result = kernel.run_process(proc())
+    assert not result.stable
+    assert result.failed_rounds == 3
+    assert result.answers == []
