@@ -21,6 +21,7 @@ from .exp_latency import (
 )
 from .exp_locking import run_disconnection, run_lock_cost
 from .exp_motivating import run_motivating
+from .exp_resilience import run_resilience
 from .exp_scale import run_scale
 from .exp_system import run_system
 from .exp_static import PAPER_TAXONOMY, run_reachability, run_taxonomy
@@ -49,6 +50,7 @@ __all__ = [
     "run_lock_cost",
     "run_motivating",
     "run_prefetch",
+    "run_resilience",
     "run_reachability",
     "run_scale",
     "run_staleness",
@@ -78,4 +80,5 @@ ALL_EXPERIMENTS = {
     "E13": run_system,
     "E14": run_convergence,
     "E15": run_detector,
+    "E16": run_resilience,
 }

@@ -23,6 +23,7 @@ __all__ = [
     "PartitionFailure",
     "UnreachableObjectFailure",
     "LockUnavailableFailure",
+    "CircuitOpenFailure",
     "SimulationError",
     "ProcessKilled",
     "SpecificationError",
@@ -101,6 +102,15 @@ class LockUnavailableFailure(FailureException):
     """A distributed lock could not be acquired (holder unreachable, etc.)."""
 
     def __init__(self, reason: str = "lock unavailable"):
+        super().__init__(reason)
+
+
+class CircuitOpenFailure(FailureException):
+    """A circuit breaker is open for this destination: the call was
+    short-circuited client-side without touching the network.  Retrying
+    after the breaker's cooldown may reach a half-open probe."""
+
+    def __init__(self, reason: str = "circuit open"):
         super().__init__(reason)
 
 

@@ -14,12 +14,25 @@ from .link import FixedLatency, LatencyModel, Link, ParetoLatency, UniformLatenc
 from .message import Message
 from .node import Node
 from .partitions import PartitionManager
+from .resilience import (
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    Deadline,
+    ResilientClient,
+    RetryPolicy,
+    TRANSPORT_FAILURES,
+)
 from .stats import NetworkStats, NodeStats
 from .topology import Topology, full_mesh, line, random_graph, ring, star, wan_clusters
 from .transport import Transport
 
 __all__ = [
     "Address",
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "Deadline",
     "FailureDetector",
     "FaultInjector",
     "FaultPlan",
@@ -36,6 +49,9 @@ __all__ = [
     "ParetoLatency",
     "PartitionManager",
     "PingService",
+    "ResilientClient",
+    "RetryPolicy",
+    "TRANSPORT_FAILURES",
     "Topology",
     "Transport",
     "UniformLatency",

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Generator, Iterable
 
 from ..errors import FailureException
-from ..sim.events import Sleep
+from ..sim.events import Fork, Join, Sleep
 from .address import NodeId
 from .fabric import Network
 
@@ -62,18 +62,33 @@ class FailureDetector:
         return set(self._suspected)
 
     def run(self) -> Generator:
+        # Pings are concurrent (one forked probe per node): a node whose
+        # ping is timing out must not inflate the effective period for
+        # every other node and delay their suspicion.  The sleep also
+        # subtracts the round's elapsed time, so the *period* is the
+        # round cadence, not a gap appended to the slowest probe.
         while True:
+            round_started = self.net.now
+            probes = []
             for node in self.monitored:
-                try:
-                    yield from self.net.call(
-                        self.home, node, self.SERVICE, "ping",
-                        timeout=self.rpc_timeout,
-                    )
-                    self._last_ok[node] = self.net.now
-                except FailureException:
-                    pass
-                self._refresh(node)
-            yield Sleep(self.period)
+                probes.append((yield Fork(
+                    self._probe(node), f"fd@{self.home}->{node}", True)))
+            for probe in probes:
+                yield Join(probe)
+            elapsed = self.net.now - round_started
+            yield Sleep(max(0.0, self.period - elapsed))
+
+    def _probe(self, node: NodeId) -> Generator:
+        """One ping round-trip; refreshes suspicion as soon as it settles."""
+        try:
+            yield from self.net.call(
+                self.home, node, self.SERVICE, "ping",
+                timeout=self.rpc_timeout,
+            )
+            self._last_ok[node] = self.net.now
+        except FailureException:
+            pass
+        self._refresh(node)
 
     def _refresh(self, node: NodeId) -> None:
         stale = self.net.now - self._last_ok[node] > self.suspect_after

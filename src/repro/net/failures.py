@@ -100,18 +100,23 @@ class FaultInjector:
         """Stop injecting new faults (in-flight repairs still complete)."""
         proc = getattr(self, "_proc", None)
         if proc is not None:
-            proc._kill()
+            self.net.kernel.kill(proc)
 
     def _victims(self) -> list[NodeId]:
         return [n for n in sorted(self.net.nodes) if n not in self.plan.protected]
 
     def run(self) -> Generator:
         nodes = self._victims()
-        links = self.net.topology.links()
-        total = self.plan.total_rate(len(nodes), len(links))
-        if total <= 0 or not nodes:
+        if not nodes:
             return
         while True:
+            # Re-read the link set every iteration: links added after the
+            # injector started are eligible targets (and the total hazard
+            # rate tracks the current topology).
+            links = self.net.topology.links()
+            total = self.plan.total_rate(len(nodes), len(links))
+            if total <= 0:
+                return
             yield Sleep(self.stream.exponential(1.0 / total))
             # Pick the fault kind proportionally to its share of the rate.
             r = self.stream.random() * total

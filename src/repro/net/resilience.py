@@ -1,0 +1,480 @@
+"""Client-side RPC resilience: retries, deadlines, breakers, hedging.
+
+The paper's environment is one where "failures are assumed to be
+common", yet a bare :meth:`Network.call` gives up on the first drop: a
+lost message burns the full timeout and surfaces as a failure.  This
+module is the recovery layer that lets the weak-set iterators measure
+the *semantics* under faults rather than the transport's fragility:
+
+* :class:`RetryPolicy` — exponential backoff with deterministic jitter
+  (drawn from the simulation's named RNG streams, so runs stay
+  seed-reproducible) and a retryable-failure classification over the
+  :class:`~repro.errors.FailureException` hierarchy.  Only *transport*
+  failures (timeout / crash / link / partition) are retried by default;
+  application-level failures raised by a live server are not.
+* :class:`Deadline` — a per-operation budget capping total time across
+  attempts, so retries never turn one slow call into an unbounded one.
+* :class:`CircuitBreaker` — per-(src, dst) closed/open/half-open state
+  with cooldown, so clients stop hammering nodes the failure detector
+  already suspects; open circuits fail fast without touching the wire.
+* :class:`ResilientClient` — the facade weak-set repositories speak
+  through: :meth:`ResilientClient.call` (retry + deadline + breaker)
+  and :meth:`ResilientClient.hedged_call` (after a quantile delay,
+  issue a duplicate request to the next replica and take the first
+  reply).
+
+Every recovery action is counted on the transport's
+:class:`~repro.net.stats.NetworkStats` (``retries``, ``hedges``,
+``hedge_wins``, ``breaker_trips``, ``breaker_fast_fails``,
+``failovers``) so experiments can report recovery cost next to
+recovery benefit (E16).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator, Optional, Sequence
+
+from ..errors import (
+    CircuitOpenFailure,
+    FailureException,
+    LinkDownFailure,
+    NodeCrashFailure,
+    PartitionFailure,
+    TimeoutFailure,
+)
+from ..sim.events import Fork, Signal, Sleep, Wait
+from ..sim.rng import Stream
+from .address import NodeId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .fabric import Network
+    from .stats import NetworkStats
+
+__all__ = [
+    "TRANSPORT_FAILURES",
+    "RetryPolicy",
+    "Deadline",
+    "BreakerState",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "ResilientClient",
+]
+
+#: Failures raised by the transport itself (as opposed to exceptions a
+#: live server raised and shipped back in a reply).  Only these feed the
+#: circuit breaker and are retried by the default policy: a server that
+#: *answered* — even with ``UnreachableObjectFailure`` — is healthy.
+TRANSPORT_FAILURES = (TimeoutFailure, NodeCrashFailure,
+                      LinkDownFailure, PartitionFailure)
+
+
+# ---------------------------------------------------------------------------
+# retry policy
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    ``retry_on`` classifies which :class:`FailureException` subclasses
+    are worth another attempt.  The default retries transport failures
+    and open circuits (waiting out the cooldown); application failures
+    — a reply saying "no such object here" — propagate immediately.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5                  # ± fraction of the nominal delay
+    retry_on: tuple[type, ...] = TRANSPORT_FAILURES + (CircuitOpenFailure,)
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.retry_on)
+
+    def backoff(self, attempt: int, stream: Stream) -> float:
+        """Delay before retry number ``attempt`` (1-based), jittered.
+
+        The jitter is drawn from a named simulation stream, so the
+        schedule is a pure function of (seed, call order) — reproducible
+        chaos, per the repo's determinism rule.
+        """
+        nominal = min(self.max_delay,
+                      self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter <= 0:
+            return nominal
+        lo = nominal * max(0.0, 1.0 - self.jitter)
+        return stream.uniform(lo, nominal * (1.0 + self.jitter))
+
+
+# ---------------------------------------------------------------------------
+# deadlines
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute point in virtual time bounding a whole operation.
+
+    One deadline spans *all* attempts of a resilient call: retries and
+    hedges divide the remaining budget, they never extend it.
+    """
+
+    expires_at: float
+
+    @classmethod
+    def after(cls, now: float, budget: float) -> "Deadline":
+        return cls(expires_at=now + budget)
+
+    def remaining(self, now: float) -> float:
+        return self.expires_at - now
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+    def clamp(self, timeout: Optional[float], now: float) -> float:
+        """Largest per-attempt timeout that still respects the deadline."""
+        rem = max(0.0, self.remaining(now))
+        if timeout is None or timeout == float("inf"):
+            return rem
+        return min(timeout, rem)
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker
+# ---------------------------------------------------------------------------
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Configuration for per-destination circuit breakers."""
+
+    failure_threshold: int = 5     # consecutive transport failures to trip
+    cooldown: float = 2.0          # open time before a half-open probe
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker for one (src, dst) pair.
+
+    Closed circuits pass everything and count consecutive transport
+    failures; at the threshold the circuit *trips* open.  Open circuits
+    fail fast (no message is sent) until the cooldown elapses, then
+    admit exactly one half-open probe: success closes the circuit,
+    failure re-opens it for another cooldown.
+    """
+
+    __slots__ = ("policy", "state", "failures", "opened_at", "trips",
+                 "_probe_inflight")
+
+    def __init__(self, policy: Optional[BreakerPolicy] = None):
+        self.policy = policy if policy is not None else BreakerPolicy()
+        self.state = BreakerState.CLOSED
+        self.failures = 0              # consecutive failures while closed
+        self.opened_at: Optional[float] = None
+        self.trips = 0                 # transitions into OPEN
+        self._probe_inflight = False
+
+    def allow(self, now: float) -> bool:
+        """May a call proceed right now?  (May move OPEN → HALF_OPEN.)"""
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            assert self.opened_at is not None
+            if now - self.opened_at >= self.policy.cooldown:
+                self.state = BreakerState.HALF_OPEN
+                self._probe_inflight = True
+                return True
+            return False
+        # HALF_OPEN: one probe at a time
+        if self._probe_inflight:
+            return False
+        self._probe_inflight = True
+        return True
+
+    def record_success(self) -> None:
+        self.state = BreakerState.CLOSED
+        self.failures = 0
+        self.opened_at = None
+        self._probe_inflight = False
+
+    def record_failure(self, now: float) -> bool:
+        """Record a transport failure; True if this call tripped it open."""
+        if self.state is BreakerState.HALF_OPEN:
+            self._probe_inflight = False
+            self._open(now)
+            return True
+        if self.state is BreakerState.OPEN:
+            return False               # stale result from before the trip
+        self.failures += 1
+        if self.failures >= self.policy.failure_threshold:
+            self._open(now)
+            return True
+        return False
+
+    def _open(self, now: float) -> None:
+        self.state = BreakerState.OPEN
+        self.opened_at = now
+        self.failures = 0
+        self.trips += 1
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker({self.state.value}, trips={self.trips})"
+
+
+# ---------------------------------------------------------------------------
+# the resilient client
+# ---------------------------------------------------------------------------
+class ResilientClient:
+    """Retry + deadline + breaker + hedging on top of :meth:`Network.call`.
+
+    One instance serves one logical client (it is keyed by the ``src``
+    of each call for breaker purposes, so sharing across clients is
+    safe).  Construct with the knobs you want; everything is off by
+    default except single-attempt pass-through:
+
+    * ``policy`` — a :class:`RetryPolicy` (default: 3 attempts).
+    * ``breaker`` — a :class:`BreakerPolicy` enables per-(src, dst)
+      circuit breakers.
+    * ``hedge_delay`` — enables :meth:`hedged_call`: after this many
+      seconds without a reply (a latency-quantile estimate), a duplicate
+      request goes to the next candidate and the first reply wins.
+    * ``default_budget`` — a total-time :class:`Deadline` applied to
+      every call that does not bring its own.
+    """
+
+    def __init__(self, net: "Network", policy: Optional[RetryPolicy] = None,
+                 breaker: Optional[BreakerPolicy] = None,
+                 hedge_delay: Optional[float] = None,
+                 default_budget: Optional[float] = None,
+                 stream_name: str = "net.resilience"):
+        self.net = net
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.breaker_policy = breaker
+        self.hedge_delay = hedge_delay
+        self.default_budget = default_budget
+        self.stream = net.kernel.stream(stream_name)
+        self._breakers: dict[tuple[NodeId, NodeId], CircuitBreaker] = {}
+        #: Destination that answered the most recent hedged_call (read it
+        #: immediately after the call returns; no yield in between).
+        self.last_winner: Optional[NodeId] = None
+
+    @property
+    def stats(self) -> "NetworkStats":
+        return self.net.transport.stats
+
+    # -- breakers ---------------------------------------------------------
+    def breaker_for(self, src: NodeId, dst: NodeId) -> Optional[CircuitBreaker]:
+        if self.breaker_policy is None:
+            return None
+        key = (src, dst)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(self.breaker_policy)
+            self._breakers[key] = breaker
+        return breaker
+
+    def _admit(self, src: NodeId, dst: NodeId) -> Optional[CircuitBreaker]:
+        """Breaker gate: returns the breaker, or raises CircuitOpenFailure."""
+        breaker = self.breaker_for(src, dst)
+        if breaker is not None and not breaker.allow(self.net.now):
+            self.stats.breaker_fast_fails += 1
+            raise CircuitOpenFailure(f"circuit {src}->{dst} is open")
+        return breaker
+
+    def _settle(self, breaker: Optional[CircuitBreaker],
+                exc: Optional[FailureException]) -> None:
+        """Feed one attempt's outcome to its breaker (transport failures only)."""
+        if breaker is None:
+            return
+        if exc is None:
+            breaker.record_success()
+        elif isinstance(exc, TRANSPORT_FAILURES):
+            if breaker.record_failure(self.net.now):
+                self.stats.breaker_trips += 1
+        else:
+            # The destination answered (with an application error):
+            # that's evidence of health, not failure.
+            breaker.record_success()
+
+    # -- the retrying call ------------------------------------------------
+    def call(self, src: NodeId, dst: NodeId, service: str, method: str,
+             *args: Any, timeout: Optional[float] = None,
+             deadline: Optional[Deadline] = None,
+             max_attempts: Optional[int] = None,
+             **kwargs: Any) -> Generator[Any, Any, Any]:
+        """Blocking RPC with retries, bounded by a per-operation deadline.
+
+        ``max_attempts`` overrides the policy's count for this call
+        (``1`` = no retry — used by failover loops whose alternates
+        *are* the retry).  Raises the last failure when attempts or the
+        deadline run out.
+        """
+        if deadline is None and self.default_budget is not None:
+            deadline = Deadline.after(self.net.now, self.default_budget)
+        attempts = max_attempts if max_attempts is not None else self.policy.max_attempts
+        last_exc: Optional[FailureException] = None
+        attempt = 0
+        while True:
+            attempt += 1
+            now = self.net.now
+            if deadline is not None and deadline.expired(now):
+                raise last_exc if last_exc is not None else TimeoutFailure(
+                    f"deadline exhausted before {service}.{method} {src}->{dst}"
+                )
+            try:
+                breaker = self._admit(src, dst)
+            except CircuitOpenFailure as exc:
+                last_exc = exc
+            else:
+                per_attempt = timeout
+                if deadline is not None:
+                    per_attempt = deadline.clamp(
+                        timeout if timeout is not None else self.net.default_timeout,
+                        now)
+                try:
+                    result = yield from self.net.call(
+                        src, dst, service, method, *args,
+                        timeout=per_attempt, **kwargs)
+                except FailureException as exc:
+                    self._settle(breaker, exc)
+                    last_exc = exc
+                else:
+                    self._settle(breaker, None)
+                    return result
+            if attempt >= attempts or not self.policy.is_retryable(last_exc):
+                raise last_exc
+            delay = self.policy.backoff(attempt, self.stream)
+            if deadline is not None:
+                remaining = deadline.remaining(self.net.now)
+                if remaining <= 0:
+                    raise last_exc
+                delay = min(delay, remaining)
+            self.stats.retries += 1
+            yield Sleep(delay)
+
+    # -- hedged calls -----------------------------------------------------
+    def hedged_call(self, src: NodeId, dsts: Sequence[NodeId], service: str,
+                    method: str, *args: Any, timeout: Optional[float] = None,
+                    deadline: Optional[Deadline] = None,
+                    method_for: Optional[dict[NodeId, str]] = None,
+                    **kwargs: Any) -> Generator[Any, Any, Any]:
+        """First reply wins over a staggered fan-out of identical requests.
+
+        The request goes to ``dsts[0]``; every ``hedge_delay`` seconds
+        without a reply the next candidate receives a duplicate.  The
+        first successful reply is returned (its destination is recorded
+        in :attr:`last_winner`); duplicates resolving later are ignored
+        by the transport's one-shot reply signals.  Fails only when all
+        launched attempts have failed.
+
+        ``method_for`` overrides the method per destination — the
+        replica-fetch path races the home's authoritative ``get_object``
+        against the replicas' non-authoritative ``get_object_replica``.
+
+        Requires ``hedge_delay``; with a single candidate this degrades
+        to a plain breaker-gated call.
+        """
+        method_for = method_for or {}
+        if not dsts:
+            raise FailureException(f"hedged {service}.{method}: no candidates")
+        if self.hedge_delay is None or len(dsts) == 1:
+            return (yield from self.call(
+                src, dsts[0], service, method_for.get(dsts[0], method), *args,
+                timeout=timeout, deadline=deadline, max_attempts=1, **kwargs))
+        if deadline is None and self.default_budget is not None:
+            deadline = Deadline.after(self.net.now, self.default_budget)
+        stats = self.stats
+        sig = Signal(name=f"hedge:{service}.{method}")
+        state: dict[str, Any] = {"pending": 0, "done_launching": False,
+                                 "error": None}
+
+        def attempt(dst: NodeId, breaker: Optional[CircuitBreaker],
+                    hedged: bool) -> Generator:
+            try:
+                per_attempt = timeout
+                if deadline is not None:
+                    per_attempt = deadline.clamp(
+                        timeout if timeout is not None else self.net.default_timeout,
+                        self.net.now)
+                value = yield from self.net.call(
+                    src, dst, service, method_for.get(dst, method), *args,
+                    timeout=per_attempt, **kwargs)
+            except FailureException as exc:
+                self._settle(breaker, exc)
+                state["error"] = exc
+                state["pending"] -= 1
+                if (state["pending"] <= 0 and state["done_launching"]
+                        and not sig.fired):
+                    sig.fail(exc)
+            except BaseException as exc:  # noqa: BLE001 - surface sim bugs
+                state["pending"] -= 1
+                if not sig.fired:
+                    sig.fail(exc)
+            else:
+                self._settle(breaker, None)
+                if not sig.fired:
+                    self.last_winner = dst
+                    if hedged:
+                        stats.hedge_wins += 1
+                    sig.fire(value)
+                state["pending"] -= 1
+
+        launched = 0
+        for index, dst in enumerate(dsts):
+            last = index == len(dsts) - 1
+            try:
+                breaker = self._admit(src, dst)
+            except CircuitOpenFailure as exc:
+                state["error"] = exc
+                continue
+            launched += 1
+            if launched > 1:
+                stats.hedges += 1
+            state["pending"] += 1
+            if last:
+                state["done_launching"] = True
+            yield Fork(attempt(dst, breaker, hedged=launched > 1),
+                       f"hedge:{method}@{dst}", True)
+            if last:
+                break
+            stagger = self.hedge_delay
+            if deadline is not None:
+                remaining = deadline.remaining(self.net.now)
+                if remaining <= 0:
+                    break
+                stagger = min(stagger, remaining)
+            try:
+                return (yield Wait(sig, timeout=stagger))
+            except TimeoutFailure:
+                continue                # primary is slow: hedge
+            except FailureException:
+                if state["pending"] > 0:
+                    # A fresh signal would be needed to keep waiting on
+                    # in-flight attempts; simpler and equivalent: the
+                    # remaining candidates are tried by the next loop
+                    # iteration against a new signal.  (Cannot happen:
+                    # sig only fails once done_launching is set.)
+                    raise
+                continue
+        # All candidates launched (or skipped): wait for a straggler.
+        state["done_launching"] = True
+        if state["pending"] == 0:
+            raise state["error"] if state["error"] is not None else \
+                CircuitOpenFailure(f"all circuits {src}->{list(dsts)} open")
+        final_timeout: Optional[float] = None
+        if deadline is not None:
+            final_timeout = max(0.0, deadline.remaining(self.net.now))
+        return (yield Wait(sig, timeout=final_timeout))
+
+    def __repr__(self) -> str:
+        knobs = [f"attempts={self.policy.max_attempts}"]
+        if self.breaker_policy is not None:
+            knobs.append("breaker")
+        if self.hedge_delay is not None:
+            knobs.append(f"hedge={self.hedge_delay}")
+        if self.default_budget is not None:
+            knobs.append(f"budget={self.default_budget}")
+        return f"ResilientClient({', '.join(knobs)})"

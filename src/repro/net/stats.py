@@ -22,10 +22,11 @@ class NodeStats:
     sent: int = 0
     received: int = 0
     requests_handled: int = 0
+    addressed: int = 0        # messages addressed *to* this node at send time
 
     def __str__(self) -> str:
         return (f"sent={self.sent} received={self.received} "
-                f"handled={self.requests_handled}")
+                f"handled={self.requests_handled} addressed={self.addressed}")
 
 
 @dataclass
@@ -36,6 +37,14 @@ class NetworkStats:
     total_sent: int = 0
     total_delivered: int = 0
     total_dropped: int = 0
+    # -- resilience-layer counters (maintained by ResilientClient and
+    #    Repository failover, not by the transport itself) --------------
+    retries: int = 0              # extra attempts after a failed one
+    hedges: int = 0               # duplicate requests issued by hedging
+    hedge_wins: int = 0           # hedged duplicates that answered first
+    breaker_trips: int = 0        # circuit transitions into OPEN
+    breaker_fast_fails: int = 0   # calls short-circuited by an open circuit
+    failovers: int = 0            # element fetches served by a replica
 
     def node(self, name: NodeId) -> NodeStats:
         stats = self.per_node.get(name)
@@ -47,6 +56,7 @@ class NetworkStats:
     def record_send(self, msg: Message) -> None:
         self.total_sent += 1
         self.node(msg.src.node).sent += 1
+        self.node(msg.dst.node).addressed += 1
 
     def record_delivery(self, msg: Message) -> None:
         self.total_delivered += 1
@@ -70,6 +80,11 @@ class NetworkStats:
         return [(name, stats.requests_handled) for name, stats in ranked[:k]]
 
     def __str__(self) -> str:
+        extras = ""
+        if self.retries or self.hedges or self.breaker_trips or self.failovers:
+            extras = (f", retries={self.retries}, hedges={self.hedges}, "
+                      f"breaker_trips={self.breaker_trips}, "
+                      f"failovers={self.failovers}")
         return (f"NetworkStats(sent={self.total_sent}, "
                 f"delivered={self.total_delivered}, "
-                f"dropped={self.total_dropped})")
+                f"dropped={self.total_dropped}{extras})")

@@ -121,7 +121,11 @@ class Transport:
         self._pending_replies.pop(request_id, None)
 
     def _complete_reply(self, msg: Message) -> None:
-        sig = self._pending_replies.pop(msg.reply_to or -1, None)
+        # Compare against None explicitly: `reply_to or -1` would treat a
+        # legitimate id of 0 as missing and orphan that caller forever.
+        if msg.reply_to is None:
+            return
+        sig = self._pending_replies.pop(msg.reply_to, None)
         if sig is None or sig.fired:
             return  # caller gave up (timeout) before the reply landed
         if msg.method.endswith("!error"):

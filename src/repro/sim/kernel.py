@@ -130,6 +130,15 @@ class Kernel:
             )
         return proc.result
 
+    def kill(self, proc: Process) -> None:
+        """Terminate ``proc`` (public API; no-op if already finished).
+
+        The generator is closed (its ``finally`` blocks run) and any
+        joiner is resumed with :class:`~repro.errors.ProcessKilled`.
+        """
+        proc.kill()
+        self.trace.record("kill", process=proc.name)
+
     def processes(self) -> list[Process]:
         return list(self._processes)
 

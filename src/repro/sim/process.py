@@ -79,8 +79,13 @@ class Process:
         self.state = ProcessState.FAILED
         self.done.fail(error)
 
-    def _kill(self) -> None:
-        """Mark killed and close the generator (runs finally blocks)."""
+    def kill(self) -> None:
+        """Terminate the process externally (public API).
+
+        Closes the generator (running its ``finally`` blocks) and fails
+        ``done`` with :class:`ProcessKilled`.  Killing a finished or
+        already-killed process is a no-op.
+        """
         if self.finished:
             return
         self.state = ProcessState.KILLED
@@ -89,6 +94,9 @@ class Process:
         except Exception:  # pragma: no cover - close() rarely raises
             pass
         self.done.fail(ProcessKilled(f"{self.name} was killed"))
+
+    # Kept for kernel-internal call sites and backward compatibility.
+    _kill = kill
 
     def __repr__(self) -> str:
         return f"Process({self.name!r}, pid={self.pid}, state={self.state.value})"

@@ -34,11 +34,23 @@ def fresh_oid(prefix: str = "obj") -> ObjectId:
 
 @dataclass(frozen=True, order=True)
 class Element:
-    """A member descriptor: what the ``elements`` iterator yields."""
+    """A member descriptor: what the ``elements`` iterator yields.
+
+    ``replicas`` lists nodes holding read-only copies of the data
+    object, used by the resilient fetch path to fail over when the home
+    is unreachable.  It is placement metadata, not identity: two views
+    of the same member compare equal regardless of replica placement.
+    """
 
     name: str
     oid: ObjectId
     home: NodeId
+    replicas: tuple[NodeId, ...] = field(default=(), compare=False)
+
+    @property
+    def locations(self) -> tuple[NodeId, ...]:
+        """Every node holding a copy, authoritative home first."""
+        return (self.home,) + self.replicas
 
     def __str__(self) -> str:
         return f"{self.name}@{self.home}"

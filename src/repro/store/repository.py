@@ -12,8 +12,9 @@ from __future__ import annotations
 import itertools
 from typing import Any, Generator, Optional
 
-from ..errors import FailureException, UnreachableObjectFailure
+from ..errors import CircuitOpenFailure, FailureException, UnreachableObjectFailure
 from ..net.address import NodeId
+from ..net.resilience import TRANSPORT_FAILURES, ResilientClient
 from .cache import ClientCache
 from .elements import Element, fresh_oid
 from .server import ObjectServer
@@ -47,12 +48,14 @@ class Repository:
 
     def __init__(self, world: World, client: NodeId,
                  cache: Optional[ClientCache] = None,
-                 rpc_timeout: Optional[float] = None):
+                 rpc_timeout: Optional[float] = None,
+                 resilience: Optional[ResilientClient] = None):
         self.world = world
         self.net = world.net
         self.client = client
         self.cache = cache
         self.rpc_timeout = rpc_timeout
+        self.resilience = resilience
 
     # ------------------------------------------------------------------
     # host selection
@@ -66,13 +69,20 @@ class Repository:
 
     def nearest_host(self, coll_id: str) -> Optional[NodeId]:
         """The reachable host with the lowest expected latency, if any."""
-        best: Optional[NodeId] = None
-        best_latency = float("inf")
-        for host in self.hosts_of(coll_id):
+        ranked = self.ranked_hosts(coll_id)
+        return ranked[0] if ranked else None
+
+    def ranked_hosts(self, coll_id: str) -> tuple[NodeId, ...]:
+        """Reachable hosts of ``coll_id``, closest first (deterministic)."""
+        return self._rank(self.hosts_of(coll_id))
+
+    def _rank(self, hosts) -> tuple[NodeId, ...]:
+        with_latency = []
+        for host in hosts:
             latency = self.net.expected_latency(self.client, host)
-            if latency is not None and latency < best_latency:
-                best, best_latency = host, latency
-        return best
+            if latency is not None:
+                with_latency.append((latency, host))
+        return tuple(host for _, host in sorted(with_latency))
 
     # ------------------------------------------------------------------
     # reads
@@ -93,11 +103,27 @@ class Repository:
         if source == "primary":
             host = self.primary_of(coll_id)
         elif source == "nearest":
-            host = self.nearest_host(coll_id)
-            if host is None:
+            ranked = self.ranked_hosts(coll_id)
+            if not ranked:
                 raise UnreachableObjectFailure(
                     f"no host of {coll_id!r} is reachable from {self.client}"
                 )
+            if (self.resilience is not None
+                    and self.resilience.hedge_delay is not None
+                    and len(ranked) > 1):
+                # Tail-latency insurance: race the two closest replicas,
+                # first snapshot wins.  Staleness is already allowed by
+                # the weak-set spec, so any replica's answer is valid.
+                version, members = yield from self.resilience.hedged_call(
+                    self.client, ranked[:2], ObjectServer.SERVICE,
+                    "list_members", coll_id, timeout=self.rpc_timeout)
+                host = self.resilience.last_winner or ranked[0]
+                view = MembershipView(coll_id, version, frozenset(members),
+                                      host, self.world.now)
+                if self.cache is not None:
+                    self.cache.put(("membership", coll_id), view, self.world.now)
+                return view
+            host = ranked[0]
         else:
             host = source
         version, members = yield from self._call(host, "list_members", coll_id)
@@ -106,21 +132,76 @@ class Repository:
             self.cache.put(("membership", coll_id), view, self.world.now)
         return view
 
-    def fetch(self, element: Element, *, use_cache: bool = False) -> Generator[Any, Any, Any]:
-        """Fetch an element's data object from its home node.
+    def fetch(self, element: Element, *, use_cache: bool = False,
+              failover: bool = False) -> Generator[Any, Any, Any]:
+        """Fetch an element's data object, preferring its home node.
 
         Raises a :class:`FailureException` if the home is unreachable and
         :class:`~repro.errors.NoSuchObjectError` if the object has been
         deleted (i.e., the element was removed from the collection).
+
+        With ``failover=True`` a *transport* failure at the home falls
+        back to the element's replica copies, closest first.  Only
+        transport failures divert: ``NoSuchObjectError`` is the home's
+        authoritative "removed" answer and must propagate, or the
+        iterator would resurrect deleted members from stale replicas.
         """
         if use_cache and self.cache is not None:
             cached = self.cache.get(("object", element.oid), self.world.now)
             if cached is not None:
                 return cached
-        value = yield from self._call(element.home, "get_object", element.oid)
+        value = yield from self._fetch_value(element, failover)
         if self.cache is not None:
             self.cache.put(("object", element.oid), value, self.world.now)
         return value
+
+    def _fetch_value(self, element: Element, failover: bool) -> Generator[Any, Any, Any]:
+        divertable = TRANSPORT_FAILURES + (CircuitOpenFailure,)
+        if (failover and self.resilience is not None
+                and self.resilience.hedge_delay is not None):
+            ranked = self._rank(element.replicas)
+            if ranked:
+                # Tail-latency insurance: race the home's authoritative
+                # read against replica copies.  A replica can win only
+                # with a live copy — the safe direction — while the
+                # home's "removed" answer (NoSuchObjectError) settles the
+                # race immediately and still propagates.
+                try:
+                    return (yield from self.resilience.hedged_call(
+                        self.client, (element.home,) + ranked,
+                        ObjectServer.SERVICE, "get_object", element.oid,
+                        timeout=self.rpc_timeout,
+                        method_for={r: "get_object_replica" for r in ranked}))
+                except FailureException as exc:
+                    if not isinstance(exc, divertable):
+                        raise
+                    # Every racer lost to a fault, not to latency: fall
+                    # through to the patient retrying path below.
+        try:
+            return (yield from self._call(element.home, "get_object", element.oid))
+        except FailureException as exc:
+            if (not failover or not element.replicas
+                    or not isinstance(exc, divertable)):
+                raise
+            return (yield from self._fetch_from_replicas(element, exc))
+
+    def _fetch_from_replicas(self, element: Element,
+                             home_exc: FailureException) -> Generator[Any, Any, Any]:
+        """Closest-first sweep of replica copies; re-raise ``home_exc`` if
+        every one fails.  Replica answers are never authoritative about
+        removal (they raise ``UnreachableObjectFailure``, a failure, not
+        ``NoSuchObjectError``), so a success here can only ever *restore*
+        visibility of a still-live member — the safe direction for a
+        weak set, which may omit but must never invent."""
+        for replica in self._rank(element.replicas):
+            try:
+                value = yield from self._call_once(
+                    replica, "get_object_replica", element.oid)
+            except FailureException:
+                continue
+            self.net.transport.stats.failovers += 1
+            return value
+        raise home_exc
 
     def probe(self, element: Element) -> Generator[Any, Any, bool]:
         """Cheaply ask the element's home whether its object still exists."""
@@ -130,11 +211,19 @@ class Repository:
     # writes (always through the primary)
     # ------------------------------------------------------------------
     def add(self, coll_id: str, name: str, value: Any = None,
-            home: Optional[NodeId] = None, size: int = 0) -> Generator[Any, Any, Element]:
-        """Create the data object at ``home``, then register membership."""
+            home: Optional[NodeId] = None, size: int = 0,
+            replicas: tuple[NodeId, ...] = ()) -> Generator[Any, Any, Element]:
+        """Create the data object at ``home`` (and any ``replicas``),
+        then register membership.  Replica copies are written before the
+        member becomes visible, so the failover invariant — live copy
+        implies member — holds from the element's first instant."""
         home = home if home is not None else self.primary_of(coll_id)
-        element = Element(name=name, oid=fresh_oid(name), home=home)
+        replicas = tuple(r for r in replicas if r != home)
+        element = Element(name=name, oid=fresh_oid(name), home=home,
+                          replicas=replicas)
         yield from self._call(home, "put_object", element.oid, value, size)
+        for replica in replicas:
+            yield from self._call(replica, "put_object", element.oid, value, size)
         yield from self._call(self.primary_of(coll_id), "add_member", coll_id, element)
         return element
 
@@ -155,7 +244,7 @@ class Repository:
         yield from self.remove(coll_id, element)
         return (yield from self.add(coll_id, name, value,
                                     home if home is not None else element.home,
-                                    size))
+                                    size, replicas=element.replicas))
 
     def seal(self, coll_id: str) -> Generator[Any, Any, None]:
         yield from self._call(self.primary_of(coll_id), "seal_collection", coll_id)
@@ -175,6 +264,24 @@ class Repository:
 
     # ------------------------------------------------------------------
     def _call(self, host: NodeId, method: str, *args: Any) -> Generator[Any, Any, Any]:
+        if self.resilience is not None:
+            return (yield from self.resilience.call(
+                self.client, host, ObjectServer.SERVICE, method, *args,
+                timeout=self.rpc_timeout,
+            ))
+        return (yield from self.net.call(
+            self.client, host, ObjectServer.SERVICE, method, *args,
+            timeout=self.rpc_timeout,
+        ))
+
+    def _call_once(self, host: NodeId, method: str, *args: Any) -> Generator[Any, Any, Any]:
+        """Single-attempt call (the failover loop's alternates *are* the
+        retry; backing off between replicas would burn the budget)."""
+        if self.resilience is not None:
+            return (yield from self.resilience.call(
+                self.client, host, ObjectServer.SERVICE, method, *args,
+                timeout=self.rpc_timeout, max_attempts=1,
+            ))
         return (yield from self.net.call(
             self.client, host, ObjectServer.SERVICE, method, *args,
             timeout=self.rpc_timeout,

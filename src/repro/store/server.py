@@ -40,6 +40,7 @@ from ..errors import (
     NoSuchCollectionError,
     NoSuchObjectError,
     SimulationError,
+    UnreachableObjectFailure,
 )
 from ..net.address import NodeId
 from ..sim.events import Sleep
@@ -94,6 +95,25 @@ class ObjectServer:
         obj = self.objects.get(oid)
         if obj is None or obj.deleted:
             raise NoSuchObjectError(f"{oid} not stored on {self.node_id}")
+        return obj.value
+
+    def get_object_replica(self, oid: ObjectId) -> Generator[Any, Any, Any]:
+        """Fetch a *replica copy* of a data object.
+
+        Replicas are never authoritative about removal: a missing or
+        tombstoned copy here means only "no usable copy at this node",
+        so the caller sees :class:`UnreachableObjectFailure` and may try
+        elsewhere.  Only the home's :meth:`get_object` may report the
+        object as definitively gone (``NoSuchObjectError``) — the
+        distinction the failover path relies on to never invent, and
+        never prematurely bury, an element.
+        """
+        yield Sleep(self.world.service_time + self._transfer_time(oid))
+        obj = self.objects.get(oid)
+        if obj is None or obj.deleted:
+            raise UnreachableObjectFailure(
+                f"no live replica copy of {oid} on {self.node_id}"
+            )
         return obj.value
 
     def put_object(self, oid: ObjectId, value: Any, size: int = 0) -> Generator[Any, Any, int]:
@@ -186,15 +206,20 @@ class ObjectServer:
         return state.version
 
     def _erase_member(self, state: CollectionState, element: Element) -> Generator:
-        # Delete the data object first (possibly a remote call).  If the
-        # member's home is unreachable from the primary, the failure
-        # propagates and the membership is left intact.
-        if element.home == self.node_id:
-            yield from self.delete_object(element.oid)
-        else:
-            yield from self.world.net.call(
-                self.node_id, element.home, self.SERVICE, "delete_object", element.oid
-            )
+        # Delete the data objects first (possibly remote calls), replica
+        # copies before the home.  Ordering matters for the failover
+        # path: a live replica copy must always imply "still a member",
+        # so copies disappear strictly before the authoritative home
+        # does, and membership is popped only after every delete
+        # succeeded.  If any holder is unreachable from the primary, the
+        # failure propagates and the membership is left intact.
+        for holder in element.replicas + (element.home,):
+            if holder == self.node_id:
+                yield from self.delete_object(element.oid)
+            else:
+                yield from self.world.net.call(
+                    self.node_id, holder, self.SERVICE, "delete_object", element.oid
+                )
         state.members.pop(element.name, None)
         state.ghosts.discard(element.name)
         state.version += 1

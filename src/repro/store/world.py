@@ -107,17 +107,24 @@ class World:
         return info
 
     def seed_member(self, coll_id: str, name: str, value: Any = None,
-                    home: Optional[NodeId] = None, size: int = 0) -> Element:
+                    home: Optional[NodeId] = None, size: int = 0,
+                    replicas: Iterable[NodeId] = ()) -> Element:
         """Instantly create a member during setup (no RPC cost).
 
         The data object is stored at ``home`` (default: the primary) and
-        the membership is registered at the primary and pushed to all
-        replicas, so the world starts consistent.
+        at each node in ``replicas`` (object-level copies the resilient
+        fetch path can fail over to); the membership is registered at the
+        primary and pushed to all collection replicas, so the world
+        starts consistent.
         """
         info = self._info(coll_id)
         home = home if home is not None else info.primary
-        element = Element(name=name, oid=fresh_oid(name), home=home)
+        object_replicas = tuple(r for r in replicas if r != home)
+        element = Element(name=name, oid=fresh_oid(name), home=home,
+                          replicas=object_replicas)
         self.servers[home].store_direct(element, value, size)
+        for node in object_replicas:
+            self.servers[node].store_direct(element, value, size)
         primary_state = self.servers[info.primary].collections[coll_id]
         if name in primary_state.members:
             raise SimulationError(f"{coll_id} already has member {name!r}")
@@ -145,17 +152,31 @@ class World:
         return self.servers[info.primary].collections[coll_id].value()
 
     def reachable_members(self, coll_id: str, observer: NodeId) -> frozenset[Element]:
-        """The paper's reachable(s_σ): members whose home ``observer`` can reach."""
+        """The paper's reachable(s_σ): members whose data ``observer`` can reach."""
         return self.reachable_of(self.true_members(coll_id), observer)
 
     def reachable_of(self, members: frozenset[Element], observer: NodeId) -> frozenset[Element]:
-        """Reachability filter applied to an arbitrary member set."""
+        """Reachability filter applied to an arbitrary member set.
+
+        A member's data is reachable if *any* node holding a live copy —
+        the home or an object replica — is reachable from ``observer``;
+        the paper's ``reachable`` is about data accessibility, not about
+        one distinguished server being up.
+        """
         if not self.net.node(observer).up:
             return frozenset()
         return frozenset(
             e for e in members
-            if e.home == observer or self.net.can_reach(observer, e.home)
+            if any(self._copy_reachable(e, loc, observer) for loc in e.locations)
         )
+
+    def _copy_reachable(self, element: Element, loc: NodeId, observer: NodeId) -> bool:
+        if not (loc == observer or self.net.can_reach(observer, loc)):
+            return False
+        if loc == element.home:
+            return True    # membership implies a live home object
+        server = self.servers.get(loc)
+        return server is not None and server.has_object(element.oid)
 
     def membership_history(self, coll_id: str) -> list[tuple[float, frozenset[Element]]]:
         return list(self._info(coll_id).history)

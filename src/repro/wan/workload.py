@@ -39,6 +39,8 @@ class ScenarioSpec:
     policy: str = "any"
     replicas: int = 0                       # membership replicas (first nodes
                                             # of other clusters)
+    object_replicas: int = 0                # per-object copies on other
+                                            # clusters (failover targets)
     intra_latency: float = 0.002
     inter_latency: float = 0.080
     heavy_tail: bool = False                # Pareto inter-cluster latency
@@ -111,9 +113,17 @@ def build_scenario(spec: ScenarioSpec, seed: int = 0) -> Scenario:
         cluster = stream.zipf_index(spec.n_clusters, spec.placement_skew)
         node_index = stream.randint(0, spec.cluster_size - 1)
         home = f"n{cluster}.{node_index}"
+        # Object replicas go to the same node slot in the next clusters
+        # around the ring — deterministic, and never on the home cluster,
+        # so a whole-cluster outage still leaves a copy elsewhere.
+        object_replicas = tuple(
+            f"n{(cluster + k) % spec.n_clusters}.{node_index}"
+            for k in range(1, 1 + min(spec.object_replicas,
+                                      spec.n_clusters - 1))
+        )
         elements.append(world.seed_member(
             spec.coll_id, f"m{i:04d}", value=f"payload-{i}",
-            home=home, size=spec.member_size,
+            home=home, size=spec.member_size, replicas=object_replicas,
         ))
     if spec.policy == "immutable":
         world.seal(spec.coll_id)
@@ -163,11 +173,17 @@ class Mutator:
                     i = next(self._counter)
                     cluster = self.stream.zipf_index(spec.n_clusters,
                                                      spec.placement_skew)
-                    node = f"n{cluster}.{self.stream.randint(0, spec.cluster_size - 1)}"
+                    node_index = self.stream.randint(0, spec.cluster_size - 1)
+                    node = f"n{cluster}.{node_index}"
+                    replicas = tuple(
+                        f"n{(cluster + k) % spec.n_clusters}.{node_index}"
+                        for k in range(1, 1 + min(spec.object_replicas,
+                                                  spec.n_clusters - 1))
+                    )
                     element = yield from self.repo.add(
                         spec.coll_id, f"added-{i:04d}",
                         value=f"added-payload-{i}", home=node,
-                        size=spec.member_size,
+                        size=spec.member_size, replicas=replicas,
                     )
                     self.added.append(element)
                 else:

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Any, Generator, Optional, Type
 
 from ..net.address import NodeId
+from ..net.resilience import ResilientClient
 from ..spec.trace import IterationTrace, TraceRecorder
 from ..store.cache import ClientCache
 from ..store.elements import Element
@@ -43,12 +44,14 @@ class WeakSet:
     def __init__(self, world: World, client: NodeId, coll_id: str, *,
                  cache: Optional[ClientCache] = None,
                  rpc_timeout: Optional[float] = None,
+                 resilience: Optional[ResilientClient] = None,
                  record: bool = True,
                  **iterator_kwargs: Any):
         self.world = world
         self.client = client
         self.coll_id = coll_id
-        self.repo = Repository(world, client, cache=cache, rpc_timeout=rpc_timeout)
+        self.repo = Repository(world, client, cache=cache,
+                               rpc_timeout=rpc_timeout, resilience=resilience)
         self.record = record
         self.iterator_kwargs = iterator_kwargs
         self.traces: list[IterationTrace] = []

@@ -53,12 +53,18 @@ class DynamicIterator(ElementsIterator):
     def __init__(self, *args: Any, retry_interval: float = 0.25,
                  give_up_after: Optional[float] = None,
                  use_cache: bool = False, fetch_values: bool = True,
+                 failover: bool = True,
                  **kwargs: Any):
         super().__init__(*args, **kwargs)
         self.retry_interval = retry_interval
         self.give_up_after = give_up_after
         self.use_cache = use_cache
         self.fetch_values = fetch_values
+        #: Try an element's replica copies when its home is unreachable,
+        #: before treating it as blocked.  Safe under Figure 6: replicas
+        #: can only restore visibility of live members, never resurrect
+        #: removed ones (only the home answers "removed" authoritatively).
+        self.failover = failover
         self.retries = 0          # cumulative blocked retries (observability)
 
     def _step(self) -> Generator[Any, Any, Outcome]:
@@ -75,7 +81,9 @@ class DynamicIterator(ElementsIterator):
             for element in self.closest_first(remaining):
                 try:
                     if self.fetch_values:
-                        value = yield from self.repo.fetch(element, use_cache=self.use_cache)
+                        value = yield from self.repo.fetch(
+                            element, use_cache=self.use_cache,
+                            failover=self.failover)
                     else:
                         exists = yield from self.repo.probe(element)
                         if not exists:

@@ -67,7 +67,7 @@ class QuorumGrowOnlyIterator(GrowOnlyIterator):
             if not self.fetch_values:
                 return Yielded(element, None)
             try:
-                value = yield from self.repo.fetch(element)
+                value = yield from self.repo.fetch(element, failover=True)
                 return Yielded(element, value)
             except NoSuchObjectError:
                 return Yielded(element, None)   # half-removed zombie
