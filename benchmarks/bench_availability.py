@@ -1,10 +1,12 @@
 """E4 — availability under partitions (pessimistic vs optimistic vs strong)."""
 
 from repro.bench import run_availability, run_availability_ablation
+from repro.bench.artifact import record_result
 
 
 def test_e4_availability(benchmark):
     result = benchmark.pedantic(run_availability, rounds=1, iterations=1)
+    record_result(result)
     print()
     print(result)
     rows = result.rows
@@ -41,6 +43,7 @@ def test_e4_availability(benchmark):
 
 def test_e4a_ablations(benchmark):
     result = benchmark.pedantic(run_availability_ablation, rounds=1, iterations=1)
+    record_result(result)
     print()
     print(result)
     rows = {r["variant"]: r for r in result.rows}

@@ -6,6 +6,7 @@ stricter figures.
 """
 
 from repro.bench import run_conformance_matrix
+from repro.bench.artifact import record_result
 
 
 def _cell(rows, impl, spec_id):
@@ -16,6 +17,7 @@ def _cell(rows, impl, spec_id):
 
 def test_e1_conformance_matrix(benchmark):
     result = benchmark.pedantic(run_conformance_matrix, rounds=1, iterations=1)
+    record_result(result)
     print()
     print(result)
     rows = result.rows

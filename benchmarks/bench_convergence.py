@@ -1,10 +1,12 @@
 """E14 — re-run-until-agreement (§3.2) vs mutation rate."""
 
 from repro.bench import run_convergence
+from repro.bench.artifact import record_result
 
 
 def test_e14_convergence(benchmark):
     result = benchmark.pedantic(run_convergence, rounds=1, iterations=1)
+    record_result(result)
     print()
     print(result)
     rows = sorted(result.rows, key=lambda r: r["mutation_rate"])

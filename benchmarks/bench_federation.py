@@ -1,10 +1,12 @@
 """E11 — federated search across independent repositories."""
 
 from repro.bench import run_federation
+from repro.bench.artifact import record_result
 
 
 def test_e11_federation(benchmark):
     result = benchmark.pedantic(run_federation, rounds=1, iterations=1)
+    record_result(result)
     print()
     print(result)
     rows = {r["plan"]: r for r in result.rows}

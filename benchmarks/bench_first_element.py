@@ -1,10 +1,12 @@
 """E2 — time-to-first-element benchmark (§1.1 advantage 1)."""
 
 from repro.bench import run_time_to_first
+from repro.bench.artifact import record_result
 
 
 def test_e2_time_to_first(benchmark):
     result = benchmark.pedantic(run_time_to_first, rounds=1, iterations=1)
+    record_result(result)
     print()
     print(result)
     rows = result.rows
@@ -38,6 +40,7 @@ def test_e2a_early_exit(benchmark):
     from repro.bench import run_early_exit
 
     result = benchmark.pedantic(run_early_exit, rounds=1, iterations=1)
+    record_result(result)
     print()
     print(result)
     rows = result.rows

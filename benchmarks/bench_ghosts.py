@@ -1,10 +1,12 @@
 """E10 — §3.3's ghost protocol vs plain immediate removal."""
 
 from repro.bench import run_ghosts
+from repro.bench.artifact import record_result
 
 
 def test_e10_ghosts(benchmark):
     result = benchmark.pedantic(run_ghosts, rounds=1, iterations=1)
+    record_result(result)
     print()
     print(result)
     rows = result.rows

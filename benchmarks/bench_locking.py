@@ -3,10 +3,12 @@
 import math
 
 from repro.bench import run_disconnection, run_lock_cost
+from repro.bench.artifact import record_result
 
 
 def test_e6_lock_cost(benchmark):
     result = benchmark.pedantic(run_lock_cost, rounds=1, iterations=1)
+    record_result(result)
     print()
     print(result)
     rows = sorted(result.rows, key=lambda r: r["consumer_think_time"])
@@ -24,6 +26,7 @@ def test_e6_lock_cost(benchmark):
 
 def test_e6b_disconnection(benchmark):
     result = benchmark.pedantic(run_disconnection, rounds=1, iterations=1)
+    record_result(result)
     print()
     print(result)
     rows = result.rows

@@ -1,10 +1,12 @@
 """E7 — the three §1 motivating queries, end-to-end under failures."""
 
 from repro.bench import run_motivating
+from repro.bench.artifact import record_result
 
 
 def test_e7_motivating_queries(benchmark):
     result = benchmark.pedantic(run_motivating, rounds=1, iterations=1)
+    record_result(result)
     print()
     print(result)
     rows = result.rows

@@ -1,10 +1,12 @@
 """E3 — parallel, closest-first prefetch benchmark (§1.1 advantage 2)."""
 
 from repro.bench import run_prefetch
+from repro.bench.artifact import record_result
 
 
 def test_e3_prefetch(benchmark):
     result = benchmark.pedantic(run_prefetch, rounds=1, iterations=1)
+    record_result(result)
     print()
     print(result)
     rows = result.rows

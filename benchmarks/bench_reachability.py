@@ -1,10 +1,12 @@
 """E9 — the reachability model (Figure 2) at small and larger scale."""
 
 from repro.bench import run_reachability
+from repro.bench.artifact import record_result
 
 
 def test_e9_reachability(benchmark):
     result = benchmark.pedantic(run_reachability, rounds=1, iterations=1)
+    record_result(result)
     print()
     print(result)
     rows = result.rows

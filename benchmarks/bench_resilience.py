@@ -1,10 +1,12 @@
 """E16 — resilient RPC (retries, hedging, breakers, failover) under crash faults."""
 
 from repro.bench import run_resilience
+from repro.bench.artifact import record_result
 
 
 def test_e16_resilience(benchmark):
     result = benchmark.pedantic(run_resilience, rounds=1, iterations=1)
+    record_result(result)
     print()
     print(result)
     rows = result.rows

@@ -1,10 +1,12 @@
 """E12 — scale sweep (simulated cost + message accounting)."""
 
 from repro.bench import run_scale
+from repro.bench.artifact import record_result
 
 
 def test_e12_scale(benchmark):
     result = benchmark.pedantic(run_scale, rounds=1, iterations=1)
+    record_result(result)
     print()
     print(result)
     rows = result.rows

@@ -10,7 +10,7 @@ import pytest
 
 from repro.net import FixedLatency, Network, full_mesh
 from repro.sim import Kernel, Sleep
-from repro.store import Repository, World
+from repro.store import World
 from repro.weaksets import DynamicSet
 
 

@@ -1,10 +1,12 @@
 """E5 — consistency cost vs mutation rate, plus the cache ablation."""
 
 from repro.bench import run_cache_ablation, run_staleness
+from repro.bench.artifact import record_result
 
 
 def test_e5_staleness(benchmark):
     result = benchmark.pedantic(run_staleness, rounds=1, iterations=1)
+    record_result(result)
     print()
     print(result)
     rows = result.rows
@@ -40,6 +42,7 @@ def test_e5_staleness(benchmark):
 
 def test_e5a_cache_ablation(benchmark):
     result = benchmark.pedantic(run_cache_ablation, rounds=1, iterations=1)
+    record_result(result)
     print()
     print(result)
     rows = result.rows

@@ -1,10 +1,12 @@
 """E8 — the Garcia-Molina & Wiederhold classification (§4)."""
 
 from repro.bench import PAPER_TAXONOMY, run_taxonomy
+from repro.bench.artifact import record_result
 
 
 def test_e8_taxonomy(benchmark):
     result = benchmark.pedantic(run_taxonomy, rounds=3, iterations=1)
+    record_result(result)
     print()
     print(result)
     rows = {r["spec"]: r for r in result.rows}

@@ -22,6 +22,7 @@ Quickstart: see ``examples/quickstart.py`` or README.md.
 
 from . import errors
 from .errors import FailureException
+from .obs import MetricsRegistry, Observability, Span, Tracer
 from .sim import Kernel, Sleep
 from .net import FixedLatency, Network, ParetoLatency, UniformLatency, full_mesh, wan_clusters
 from .store import Element, Repository, World, figure2_world
@@ -56,12 +57,16 @@ __all__ = [
     "GrowOnlySet",
     "ImmutableSet",
     "Kernel",
+    "MetricsRegistry",
     "Network",
+    "Observability",
     "ParetoLatency",
     "Repository",
     "Sleep",
     "SnapshotSet",
+    "Span",
     "StrongSet",
+    "Tracer",
     "UniformLatency",
     "World",
     "check_conformance",

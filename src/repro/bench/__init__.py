@@ -21,6 +21,7 @@ from .exp_latency import (
 )
 from .exp_locking import run_disconnection, run_lock_cost
 from .exp_motivating import run_motivating
+from .exp_obs import run_obs
 from .exp_resilience import run_resilience
 from .exp_scale import run_scale
 from .exp_system import run_system
@@ -49,6 +50,7 @@ __all__ = [
     "run_ghosts",
     "run_lock_cost",
     "run_motivating",
+    "run_obs",
     "run_prefetch",
     "run_resilience",
     "run_reachability",
@@ -81,4 +83,5 @@ ALL_EXPERIMENTS = {
     "E14": run_convergence,
     "E15": run_detector,
     "E16": run_resilience,
+    "E17": run_obs,
 }

@@ -1,0 +1,159 @@
+"""The bench regression gate: diff two ``BENCH_obs.json`` artifacts.
+
+``python -m repro.bench compare old.json new.json --tolerance 0.1``
+compares every experiment's table, row by row and field by field:
+
+* non-numeric fields (strings, booleans — variant names, ``spec_ok``
+  flags) must match exactly: a flipped conformance bit is a regression
+  at any tolerance;
+* numeric fields may deviate by at most ``tolerance`` as a fraction of
+  the old value (``|new - old| / |old|``); a value appearing where the
+  baseline had 0 is treated as an unbounded deviation;
+* wall-clock keys (``elapsed_wall_s`` and ``wall_ms`` by default) are
+  ignored — the artifact's simulation numbers are seed-deterministic,
+  wall time is not, and gating on CI-machine noise helps nobody.
+
+Exit status: 0 clean, 1 regressions found (0 with ``--warn-only``),
+2 usage/loading errors.  Experiments present only in the baseline are
+regressions (coverage must not silently shrink); experiments only in
+the new artifact are reported as info and pass.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Iterable
+
+from .artifact import load_artifact
+
+__all__ = ["compare_artifacts", "compare_files", "main",
+           "DEFAULT_IGNORED_KEYS"]
+
+#: Machine-dependent keys never gated on.
+DEFAULT_IGNORED_KEYS = frozenset({"elapsed_wall_s", "wall_ms"})
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+def _deviation(old: float, new: float) -> float:
+    """Relative deviation of ``new`` from ``old`` (inf when 0 → nonzero)."""
+    if old == new:
+        return 0.0
+    if old == 0:
+        return float("inf")
+    return abs(new - old) / abs(old)
+
+
+def compare_rows(exp_id: str, index: int, old_row: dict, new_row: dict,
+                 tolerance: float, ignore: frozenset[str],
+                 regressions: list[str]) -> None:
+    for key in old_row:
+        if key in ignore:
+            continue
+        if key not in new_row:
+            regressions.append(
+                f"{exp_id} row {index}: field {key!r} disappeared")
+            continue
+        old_value, new_value = old_row[key], new_row[key]
+        if _is_number(old_value) and _is_number(new_value):
+            deviation = _deviation(old_value, new_value)
+            if deviation > tolerance:
+                regressions.append(
+                    f"{exp_id} row {index}: {key} {old_value} -> {new_value} "
+                    f"(deviation {deviation:.1%} > tolerance {tolerance:.1%})")
+        elif old_value != new_value:
+            regressions.append(
+                f"{exp_id} row {index}: {key} {old_value!r} -> {new_value!r}")
+
+
+def compare_artifacts(old: dict, new: dict, tolerance: float = 0.1,
+                      ignore: Iterable[str] = DEFAULT_IGNORED_KEYS,
+                      ) -> tuple[list[str], list[str]]:
+    """Diff two artifacts; returns (regressions, info notes)."""
+    ignored = frozenset(ignore)
+    regressions: list[str] = []
+    info: list[str] = []
+    old_experiments = {e["id"]: e for e in old.get("experiments", [])}
+    new_experiments = {e["id"]: e for e in new.get("experiments", [])}
+    for exp_id, old_exp in old_experiments.items():
+        new_exp = new_experiments.get(exp_id)
+        if new_exp is None:
+            regressions.append(f"{exp_id}: present in baseline, missing in new run")
+            continue
+        old_rows, new_rows = old_exp.get("rows", []), new_exp.get("rows", [])
+        if len(old_rows) != len(new_rows):
+            regressions.append(
+                f"{exp_id}: row count {len(old_rows)} -> {len(new_rows)}")
+            continue
+        for index, (old_row, new_row) in enumerate(zip(old_rows, new_rows)):
+            compare_rows(exp_id, index, old_row, new_row, tolerance,
+                         ignored, regressions)
+    for exp_id in new_experiments:
+        if exp_id not in old_experiments:
+            info.append(f"{exp_id}: new experiment (not in baseline), skipped")
+    return regressions, info
+
+
+def compare_files(old_path: str, new_path: str, tolerance: float = 0.1,
+                  ignore: Iterable[str] = DEFAULT_IGNORED_KEYS,
+                  ) -> tuple[list[str], list[str]]:
+    return compare_artifacts(load_artifact(old_path), load_artifact(new_path),
+                             tolerance=tolerance, ignore=ignore)
+
+
+def main(argv: list[str]) -> int:
+    """``python -m repro.bench compare OLD NEW [--tolerance F]
+    [--warn-only] [--ignore key[,key…]]``."""
+    tolerance = 0.1
+    warn_only = False
+    ignore = set(DEFAULT_IGNORED_KEYS)
+    paths: list[str] = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--tolerance":
+            value = next(it, None)
+            if value is None:
+                print("--tolerance needs a value", flush=True)
+                return 2
+            tolerance = float(value)
+        elif arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        elif arg == "--warn-only":
+            warn_only = True
+        elif arg == "--ignore":
+            value = next(it, None)
+            if value is None:
+                print("--ignore needs a value", flush=True)
+                return 2
+            ignore.update(k for k in value.split(",") if k)
+        elif arg.startswith("--ignore="):
+            ignore.update(k for k in arg.split("=", 1)[1].split(",") if k)
+        elif arg.startswith("-"):
+            print(f"unknown compare option {arg!r}", flush=True)
+            return 2
+        else:
+            paths.append(arg)
+    if len(paths) != 2 or tolerance < 0:
+        print("usage: python -m repro.bench compare OLD.json NEW.json "
+              "[--tolerance F] [--warn-only] [--ignore key[,key…]]",
+              flush=True)
+        return 2
+    try:
+        regressions, info = compare_files(paths[0], paths[1],
+                                          tolerance=tolerance, ignore=ignore)
+    except (OSError, ValueError) as exc:
+        print(f"compare: {exc}", flush=True)
+        return 2
+    for note in info:
+        print(f"note: {note}")
+    if regressions:
+        verdict = "WARN" if warn_only else "FAIL"
+        print(f"{verdict}: {len(regressions)} regression(s) beyond "
+              f"tolerance {tolerance:.1%}")
+        for regression in regressions:
+            print(f"  {regression}")
+        return 0 if warn_only else 1
+    print(f"OK: artifacts agree within tolerance {tolerance:.1%}")
+    return 0

@@ -24,7 +24,6 @@ from ..sim.events import Sleep
 from ..store.cache import ClientCache
 from ..wan.workload import Mutator, ScenarioSpec, build_scenario
 from ..weaksets import DynamicSet, SnapshotSet
-from .metrics import rate
 from .report import ExperimentResult
 
 __all__ = ["run_staleness", "run_cache_ablation"]

@@ -13,7 +13,7 @@ parallelism and ordering ablations.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable
 
 from ..dynsets import FileSystem, strict_ls, weak_ls
 from ..net.fabric import Network

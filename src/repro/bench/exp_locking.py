@@ -38,7 +38,7 @@ def _reader_writer_run(think: float, seed: int = 0, members: int = 8,
     timings = {}
 
     def read_side():
-        first = yield from iterator.invoke()    # lock acquired here
+        yield from iterator.invoke()            # lock acquired here
         timings["lock_acquired"] = scenario.kernel.now
         if disconnect:
             scenario.net.isolate(scenario.client)

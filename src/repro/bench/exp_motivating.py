@@ -12,7 +12,7 @@ from __future__ import annotations
 from ..net.failures import FaultPlan
 from ..spec import Returned
 from ..wan import build_faces, build_library, build_restaurants
-from ..weaksets import StrongSet, install_lock_service, make_weak_set, select
+from ..weaksets import install_lock_service, make_weak_set, select
 from .report import ExperimentResult
 
 __all__ = ["run_motivating"]

@@ -10,11 +10,10 @@ per-query experiments.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..sim.events import Sleep
 from ..wan.workload import ScenarioSpec, build_scenario
-from ..weaksets import DynamicSet, StrongSet, install_lock_service, make_weak_set
+from ..weaksets import StrongSet, install_lock_service, make_weak_set
 from .metrics import summarize
 from .report import ExperimentResult
 

@@ -6,7 +6,7 @@ benchmark logs show identical rows.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
 __all__ = ["format_table", "format_kv", "ExperimentResult"]
 
@@ -91,6 +91,18 @@ class ExperimentResult:
         if self.notes:
             out += f"\n\n*{self.notes}*"
         return out
+
+    def to_obs(self) -> dict:
+        """The experiment as a BENCH_obs record (JSON-safe; see
+        ``docs/observability.md`` for the schema)."""
+        return {
+            "id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns) if self.columns else
+                       (list(self.rows[0].keys()) if self.rows else []),
+            "rows": [dict(row) for row in self.rows],
+            "notes": self.notes,
+        }
 
     def __str__(self) -> str:
         out = format_table(self.rows, self.columns,

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from ..errors import FailureException, SimulationError
+from ..errors import SimulationError
 from ..net.address import NodeId
 from ..store.repository import Repository
 from ..store.world import World

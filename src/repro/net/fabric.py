@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from ..errors import FailureException, SimulationError, TimeoutFailure
+from ..errors import SimulationError, TimeoutFailure
 from ..sim.events import Sleep, Wait
 from ..sim.kernel import Kernel
 from .address import Address, NodeId
@@ -59,6 +59,8 @@ class Network:
         }
         self.transport = Transport(kernel, topology, self.partitions, self.nodes)
         self._listeners: list = []
+        self._m_attempts = kernel.obs.metrics.counter("rpc.attempts")
+        self._m_attempt_latency = kernel.obs.metrics.histogram("rpc.attempt_latency")
 
     # -- change notification -------------------------------------------------
     def on_connectivity_change(self, callback) -> "callable":
@@ -96,6 +98,11 @@ class Network:
     def now(self) -> float:
         return self.kernel.now
 
+    @property
+    def obs(self):
+        """The kernel's observability surface (metrics + tracer)."""
+        return self.kernel.obs
+
     # -- RPC ----------------------------------------------------------------
     def call(self, src: NodeId, dst: NodeId, service: str, method: str,
              *args: Any, timeout: Optional[float] = None,
@@ -104,7 +111,28 @@ class Network:
 
         Raises a concrete :class:`FailureException` on any detectable
         failure.  Use as ``result = yield from net.call(...)``.
+
+        Every call is one ``rpc.attempt`` span (the resilience layer
+        wraps these in a ``rpc.call`` span covering all its attempts).
         """
+        tracer = self.kernel.obs.tracer
+        span = tracer.start("rpc.attempt", src=str(src), dst=str(dst),
+                            method=f"{service}.{method}")
+        self._m_attempts.value += 1
+        try:
+            result = yield from self._call_raw(
+                src, dst, service, method, *args, timeout=timeout, **kwargs)
+        except BaseException as exc:
+            tracer.finish(span, outcome=type(exc).__name__)
+            self._m_attempt_latency.observe(span.duration)
+            raise
+        tracer.finish(span, outcome="ok")
+        self._m_attempt_latency.observe(span.duration)
+        return result
+
+    def _call_raw(self, src: NodeId, dst: NodeId, service: str, method: str,
+                  *args: Any, timeout: Optional[float] = None,
+                  **kwargs: Any) -> Generator[Any, Any, Any]:
         if timeout is None:
             timeout = self.default_timeout
         src_node = self.node(src)

@@ -14,7 +14,7 @@ Two styles, matching what the benchmarks need:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Generator, Optional
+from typing import Callable, Generator
 
 from ..sim.events import Fork, Sleep
 from .address import NodeId

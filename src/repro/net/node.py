@@ -15,7 +15,7 @@ durable, clears volatile service state via each service's optional
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any
 
 from ..errors import SimulationError
 from ..sim.process import Process

@@ -315,45 +315,54 @@ class ResilientClient:
         if deadline is None and self.default_budget is not None:
             deadline = Deadline.after(self.net.now, self.default_budget)
         attempts = max_attempts if max_attempts is not None else self.policy.max_attempts
+        tracer = self.net.kernel.obs.tracer
+        span = tracer.start("rpc.call", dst=str(dst),
+                            method=f"{service}.{method}")
         last_exc: Optional[FailureException] = None
         attempt = 0
-        while True:
-            attempt += 1
-            now = self.net.now
-            if deadline is not None and deadline.expired(now):
-                raise last_exc if last_exc is not None else TimeoutFailure(
-                    f"deadline exhausted before {service}.{method} {src}->{dst}"
-                )
-            try:
-                breaker = self._admit(src, dst)
-            except CircuitOpenFailure as exc:
-                last_exc = exc
-            else:
-                per_attempt = timeout
-                if deadline is not None:
-                    per_attempt = deadline.clamp(
-                        timeout if timeout is not None else self.net.default_timeout,
-                        now)
+        try:
+            while True:
+                attempt += 1
+                now = self.net.now
+                if deadline is not None and deadline.expired(now):
+                    raise last_exc if last_exc is not None else TimeoutFailure(
+                        f"deadline exhausted before {service}.{method} {src}->{dst}"
+                    )
                 try:
-                    result = yield from self.net.call(
-                        src, dst, service, method, *args,
-                        timeout=per_attempt, **kwargs)
-                except FailureException as exc:
-                    self._settle(breaker, exc)
+                    breaker = self._admit(src, dst)
+                except CircuitOpenFailure as exc:
                     last_exc = exc
                 else:
-                    self._settle(breaker, None)
-                    return result
-            if attempt >= attempts or not self.policy.is_retryable(last_exc):
-                raise last_exc
-            delay = self.policy.backoff(attempt, self.stream)
-            if deadline is not None:
-                remaining = deadline.remaining(self.net.now)
-                if remaining <= 0:
+                    per_attempt = timeout
+                    if deadline is not None:
+                        per_attempt = deadline.clamp(
+                            timeout if timeout is not None else self.net.default_timeout,
+                            now)
+                    try:
+                        result = yield from self.net.call(
+                            src, dst, service, method, *args,
+                            timeout=per_attempt, **kwargs)
+                    except FailureException as exc:
+                        self._settle(breaker, exc)
+                        last_exc = exc
+                    else:
+                        self._settle(breaker, None)
+                        tracer.finish(span, outcome="ok", attempts=attempt)
+                        return result
+                if attempt >= attempts or not self.policy.is_retryable(last_exc):
                     raise last_exc
-                delay = min(delay, remaining)
-            self.stats.retries += 1
-            yield Sleep(delay)
+                delay = self.policy.backoff(attempt, self.stream)
+                if deadline is not None:
+                    remaining = deadline.remaining(self.net.now)
+                    if remaining <= 0:
+                        raise last_exc
+                    delay = min(delay, remaining)
+                self.stats.retries += 1
+                yield Sleep(delay)
+        except BaseException as exc:
+            if not span.finished:
+                tracer.finish(span, outcome=type(exc).__name__, attempts=attempt)
+            raise
 
     # -- hedged calls -----------------------------------------------------
     def hedged_call(self, src: NodeId, dsts: Sequence[NodeId], service: str,
@@ -387,6 +396,11 @@ class ResilientClient:
         if deadline is None and self.default_budget is not None:
             deadline = Deadline.after(self.net.now, self.default_budget)
         stats = self.stats
+        tracer = self.net.kernel.obs.tracer
+        # One span covers the whole race; forked attempts nest under it
+        # via the kernel's span adoption at Fork.
+        span = tracer.start("rpc.call", dst=",".join(str(d) for d in dsts),
+                            method=f"{service}.{method}", hedged=True)
         sig = Signal(name=f"hedge:{service}.{method}")
         state: dict[str, Any] = {"pending": 0, "done_launching": False,
                                  "error": None}
@@ -422,52 +436,63 @@ class ResilientClient:
                     sig.fire(value)
                 state["pending"] -= 1
 
-        launched = 0
-        for index, dst in enumerate(dsts):
-            last = index == len(dsts) - 1
-            try:
-                breaker = self._admit(src, dst)
-            except CircuitOpenFailure as exc:
-                state["error"] = exc
-                continue
-            launched += 1
-            if launched > 1:
-                stats.hedges += 1
-            state["pending"] += 1
-            if last:
-                state["done_launching"] = True
-            yield Fork(attempt(dst, breaker, hedged=launched > 1),
-                       f"hedge:{method}@{dst}", True)
-            if last:
-                break
-            stagger = self.hedge_delay
-            if deadline is not None:
-                remaining = deadline.remaining(self.net.now)
-                if remaining <= 0:
+        try:
+            launched = 0
+            for index, dst in enumerate(dsts):
+                last = index == len(dsts) - 1
+                try:
+                    breaker = self._admit(src, dst)
+                except CircuitOpenFailure as exc:
+                    state["error"] = exc
+                    continue
+                launched += 1
+                if launched > 1:
+                    stats.hedges += 1
+                state["pending"] += 1
+                if last:
+                    state["done_launching"] = True
+                yield Fork(attempt(dst, breaker, hedged=launched > 1),
+                           f"hedge:{method}@{dst}", True)
+                if last:
                     break
-                stagger = min(stagger, remaining)
-            try:
-                return (yield Wait(sig, timeout=stagger))
-            except TimeoutFailure:
-                continue                # primary is slow: hedge
-            except FailureException:
-                if state["pending"] > 0:
-                    # A fresh signal would be needed to keep waiting on
-                    # in-flight attempts; simpler and equivalent: the
-                    # remaining candidates are tried by the next loop
-                    # iteration against a new signal.  (Cannot happen:
-                    # sig only fails once done_launching is set.)
-                    raise
-                continue
-        # All candidates launched (or skipped): wait for a straggler.
-        state["done_launching"] = True
-        if state["pending"] == 0:
-            raise state["error"] if state["error"] is not None else \
-                CircuitOpenFailure(f"all circuits {src}->{list(dsts)} open")
-        final_timeout: Optional[float] = None
-        if deadline is not None:
-            final_timeout = max(0.0, deadline.remaining(self.net.now))
-        return (yield Wait(sig, timeout=final_timeout))
+                stagger = self.hedge_delay
+                if deadline is not None:
+                    remaining = deadline.remaining(self.net.now)
+                    if remaining <= 0:
+                        break
+                    stagger = min(stagger, remaining)
+                try:
+                    value = yield Wait(sig, timeout=stagger)
+                except TimeoutFailure:
+                    continue            # primary is slow: hedge
+                except FailureException:
+                    if state["pending"] > 0:
+                        # A fresh signal would be needed to keep waiting on
+                        # in-flight attempts; simpler and equivalent: the
+                        # remaining candidates are tried by the next loop
+                        # iteration against a new signal.  (Cannot happen:
+                        # sig only fails once done_launching is set.)
+                        raise
+                    continue
+                tracer.finish(span, outcome="ok", launched=launched,
+                              winner=str(self.last_winner))
+                return value
+            # All candidates launched (or skipped): wait for a straggler.
+            state["done_launching"] = True
+            if state["pending"] == 0:
+                raise state["error"] if state["error"] is not None else \
+                    CircuitOpenFailure(f"all circuits {src}->{list(dsts)} open")
+            final_timeout: Optional[float] = None
+            if deadline is not None:
+                final_timeout = max(0.0, deadline.remaining(self.net.now))
+            value = yield Wait(sig, timeout=final_timeout)
+        except BaseException as exc:
+            if not span.finished:
+                tracer.finish(span, outcome=type(exc).__name__)
+            raise
+        tracer.finish(span, outcome="ok", launched=launched,
+                      winner=str(self.last_winner))
+        return value
 
     def __repr__(self) -> str:
         knobs = [f"attempts={self.policy.max_attempts}"]

@@ -1,14 +1,24 @@
-"""Per-node message accounting.
+"""Per-node message accounting, backed by the metrics registry.
 
 The experiments argue about *cost* as well as latency (e.g. quorum
 reads buy availability with extra messages); these counters put numbers
 on it.  Maintained by the transport for every message.
+
+Since the observability layer landed, :class:`NetworkStats` is a thin
+facade over :class:`~repro.obs.metrics.MetricsRegistry` counters: the
+attribute API (``stats.retries``, ``stats.total_sent``, …) is unchanged
+— reads and ``+=`` writes still work — but every count is stored once,
+in the registry, under the ``net.*`` / ``rpc.*`` names documented in
+``docs/observability.md``.  Anything the stats object reports therefore
+agrees with the exported JSONL artifact by construction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Optional
 
+from ..obs.metrics import Counter, MetricsRegistry
 from .address import NodeId
 from .message import Message
 
@@ -29,22 +39,61 @@ class NodeStats:
                 f"handled={self.requests_handled} addressed={self.addressed}")
 
 
-@dataclass
-class NetworkStats:
-    """Counters for the whole network, per node and aggregate."""
+def _registry_counter(metric_name: str) -> property:
+    """An int-like attribute stored in the shared registry counter."""
 
-    per_node: dict[NodeId, NodeStats] = field(default_factory=dict)
-    total_sent: int = 0
-    total_delivered: int = 0
-    total_dropped: int = 0
+    def fget(self: "NetworkStats") -> int:
+        return int(self._counters[metric_name].value)
+
+    def fset(self: "NetworkStats", value: int) -> None:
+        self._counters[metric_name].value = value
+
+    return property(fget, fset, doc=f"registry counter {metric_name!r}")
+
+
+class NetworkStats:
+    """Counters for the whole network, per node and aggregate.
+
+    All aggregate counters live in a :class:`MetricsRegistry` (one per
+    kernel when constructed by the transport); the attributes below are
+    registry-backed properties so legacy ``stats.retries += 1`` call
+    sites keep working while the registry stays the single source of
+    truth.
+    """
+
+    #: attribute name → registry metric name
+    METRIC_NAMES: dict[str, str] = {
+        "total_sent": "net.messages_sent",
+        "total_delivered": "net.messages_delivered",
+        "total_dropped": "net.messages_dropped",
+        "retries": "rpc.retries",
+        "hedges": "rpc.hedges",
+        "hedge_wins": "rpc.hedge_wins",
+        "breaker_trips": "rpc.breaker_trips",
+        "breaker_fast_fails": "rpc.breaker_fast_fails",
+        "failovers": "rpc.failovers",
+    }
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters: dict[str, Counter] = {
+            metric: self.registry.counter(metric)
+            for metric in self.METRIC_NAMES.values()
+        }
+        self.per_node: dict[NodeId, NodeStats] = {}
+
+    # -- transport-level counters ----------------------------------------
+    total_sent = _registry_counter("net.messages_sent")
+    total_delivered = _registry_counter("net.messages_delivered")
+    total_dropped = _registry_counter("net.messages_dropped")
     # -- resilience-layer counters (maintained by ResilientClient and
     #    Repository failover, not by the transport itself) --------------
-    retries: int = 0              # extra attempts after a failed one
-    hedges: int = 0               # duplicate requests issued by hedging
-    hedge_wins: int = 0           # hedged duplicates that answered first
-    breaker_trips: int = 0        # circuit transitions into OPEN
-    breaker_fast_fails: int = 0   # calls short-circuited by an open circuit
-    failovers: int = 0            # element fetches served by a replica
+    retries = _registry_counter("rpc.retries")
+    hedges = _registry_counter("rpc.hedges")
+    hedge_wins = _registry_counter("rpc.hedge_wins")
+    breaker_trips = _registry_counter("rpc.breaker_trips")
+    breaker_fast_fails = _registry_counter("rpc.breaker_fast_fails")
+    failovers = _registry_counter("rpc.failovers")
 
     def node(self, name: NodeId) -> NodeStats:
         stats = self.per_node.get(name)
@@ -54,19 +103,19 @@ class NetworkStats:
         return stats
 
     def record_send(self, msg: Message) -> None:
-        self.total_sent += 1
+        self._counters["net.messages_sent"].value += 1
         self.node(msg.src.node).sent += 1
         self.node(msg.dst.node).addressed += 1
 
     def record_delivery(self, msg: Message) -> None:
-        self.total_delivered += 1
+        self._counters["net.messages_delivered"].value += 1
         receiver = self.node(msg.dst.node)
         receiver.received += 1
         if not msg.is_reply:
             receiver.requests_handled += 1
 
     def record_drop(self, msg: Message) -> None:
-        self.total_dropped += 1
+        self._counters["net.messages_dropped"].value += 1
 
     @property
     def delivery_rate(self) -> float:

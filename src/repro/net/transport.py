@@ -11,7 +11,7 @@ paper's "failures signaled from the lower network and transport layers".
 from __future__ import annotations
 
 import types
-from typing import TYPE_CHECKING, Any, Callable, Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..errors import (
     FailureException,
@@ -21,7 +21,7 @@ from ..errors import (
     SimulationError,
 )
 from ..sim.events import Signal
-from .address import Address, NodeId
+from .address import NodeId
 from .message import Message
 from .node import Node
 from .partitions import PartitionManager
@@ -47,7 +47,10 @@ class Transport:
         self._latency_stream = kernel.stream("net.latency")
         self.messages_sent = 0
         self.messages_dropped = 0
-        self.stats = NetworkStats()
+        # Counters live on the kernel's metrics registry, so the stats
+        # facade and any exported artifact are the same numbers.
+        self.stats = NetworkStats(registry=kernel.obs.metrics)
+        self._m_delivery_delay = kernel.obs.metrics.histogram("net.delivery_delay")
 
     # -- reachability -----------------------------------------------------
     def unreachable_reason(self, src: NodeId, dst: NodeId) -> Optional[FailureException]:
@@ -94,6 +97,7 @@ class Transport:
                 return False
         delay = self.topology.path_latency(msg.src.node, msg.dst.node, self._latency_stream)
         assert delay is not None
+        self._m_delivery_delay.observe(delay)
         self.kernel.trace.record("send", msg=str(msg), delay=round(delay, 6))
         self.kernel.call_soon(lambda: self._deliver(msg), delay=delay)
         return True

@@ -1,0 +1,115 @@
+"""JSONL export/import for metrics and spans.
+
+One line per record, so artifacts stream, diff, and grep well:
+
+* ``{"type": "meta", ...}`` — run metadata (first line by convention);
+* ``{"type": "metric", "kind": "counter" | "gauge" | "histogram", ...}``;
+* ``{"type": "span", "span_id": ..., "parent_id": ..., ...}``.
+
+``export_jsonl`` / ``read_jsonl`` are the file layer;
+``metrics_from_records`` / ``spans_from_records`` rebuild live objects,
+so a trace round-trips: export a run, re-import it, and query spans or
+histogram quantiles offline exactly as the run saw them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Optional, Union
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import Span, Tracer
+
+__all__ = ["export_jsonl", "read_jsonl", "metrics_from_records",
+           "spans_from_records"]
+
+
+def _metric_records(registry: MetricsRegistry) -> Iterable[dict]:
+    for record in registry.snapshot().values():
+        yield {"type": "metric", **record}
+
+
+def _span_records(tracer: Tracer) -> Iterable[dict]:
+    for span in tracer.spans():
+        yield {"type": "span", **span.to_dict()}
+
+
+def export_jsonl(path: Union[str, Path], *,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 meta: Optional[dict[str, Any]] = None) -> int:
+    """Write one JSONL artifact; returns the number of records written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    records = 0
+    with path.open("w", encoding="utf-8") as fh:
+        header = {"type": "meta", "schema": "repro.obs/1"}
+        if meta:
+            header.update(meta)
+        if tracer is not None and tracer.dropped:
+            header["spans_dropped"] = tracer.dropped
+        fh.write(json.dumps(header, default=str) + "\n")
+        records += 1
+        if metrics is not None:
+            for record in _metric_records(metrics):
+                fh.write(json.dumps(record, default=str) + "\n")
+                records += 1
+        if tracer is not None:
+            for record in _span_records(tracer):
+                fh.write(json.dumps(record, default=str) + "\n")
+                records += 1
+    return records
+
+
+def read_jsonl(path: Union[str, Path]) -> list[dict]:
+    """All records of a JSONL artifact (blank lines skipped)."""
+    out = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def metrics_from_records(records: Iterable[dict]) -> MetricsRegistry:
+    """Rebuild a registry from exported records (non-metric rows skipped)."""
+    registry = MetricsRegistry()
+    for record in records:
+        if record.get("type") != "metric":
+            continue
+        kind, name = record["kind"], record["name"]
+        if kind == "counter":
+            counter = Counter(name)
+            counter.value = record["value"]
+            registry._instruments[name] = counter
+        elif kind == "gauge":
+            gauge = Gauge(name)
+            gauge.value = record["value"]
+            registry._instruments[name] = gauge
+        elif kind == "histogram":
+            hist = Histogram(name, bounds=record["bounds"])
+            hist.counts = list(record["counts"])
+            hist.total = record["sum"]
+            hist.count = record["count"]
+            hist.vmin = record.get("min")
+            hist.vmax = record.get("max")
+            registry._instruments[name] = hist
+        else:
+            raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+    return registry
+
+
+def spans_from_records(records: Iterable[dict]) -> list[Span]:
+    """Rebuild spans (id, parent, timing, attrs) from exported records."""
+    spans = []
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        span = Span(record["span_id"], record["name"], record["start"],
+                    parent_id=record.get("parent_id"),
+                    attrs=dict(record.get("attrs", {})))
+        span.end = record.get("end")
+        spans.append(span)
+    return spans

@@ -15,9 +15,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Any, Callable, Generator, Optional
 
 from ..errors import SimulationError, TimeoutFailure
+from ..obs import Observability
 from .clock import Clock
 from .events import Fork, Join, Now, Signal, Sleep, Wait
 from .process import Process, ProcessState
@@ -53,6 +55,14 @@ class Kernel:
         self._seq = itertools.count()
         self._processes: list[Process] = []
         self._running: Optional[Process] = None
+        # One observability surface per kernel: metrics + spans, timed by
+        # the virtual clock, span parentage keyed by the running process.
+        self.obs = Observability(self.clock, context_key=lambda: self._running)
+        # Hot path: instruments are resolved once, not per event.
+        self._m_events = self.obs.metrics.counter("kernel.events")
+        self._m_queue_depth = self.obs.metrics.gauge("kernel.queue_depth")
+        self._m_wall = self.obs.metrics.counter("kernel.wall_seconds")
+        self._m_sim = self.obs.metrics.counter("kernel.sim_seconds")
 
     # ------------------------------------------------------------------
     # public API
@@ -95,21 +105,31 @@ class Kernel:
             stop_when: Optional[Callable[[], bool]] = None) -> None:
         """Run scheduled actions until the queue empties (or ``until``,
         or ``stop_when()`` turns true between actions)."""
-        while self._queue:
-            if stop_when is not None and stop_when():
-                return
-            entry = self._queue[0]
-            if entry.cancelled:
+        wall_start = time.perf_counter()
+        sim_start = self.clock.now
+        try:
+            while self._queue:
+                if stop_when is not None and stop_when():
+                    return
+                entry = self._queue[0]
+                if entry.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and entry.time > until:
+                    self.clock.advance_to(until)
+                    return
                 heapq.heappop(self._queue)
-                continue
-            if until is not None and entry.time > until:
+                self.clock.advance_to(entry.time)
+                self._m_events.value += 1
+                self._m_queue_depth.value = len(self._queue)
+                entry.action()
+            if until is not None and until > self.clock.now:
                 self.clock.advance_to(until)
-                return
-            heapq.heappop(self._queue)
-            self.clock.advance_to(entry.time)
-            entry.action()
-        if until is not None and until > self.clock.now:
-            self.clock.advance_to(until)
+        finally:
+            # Wall-per-sim-time: how much real time one virtual second
+            # costs (the simulator's own efficiency, tracked per run).
+            self._m_wall.value += time.perf_counter() - wall_start
+            self._m_sim.value += self.clock.now - sim_start
 
     def run_process(self, generator: Generator, name: str = "main", until: Optional[float] = None) -> Any:
         """Spawn ``generator``, run until it finishes, return its result.
@@ -195,6 +215,9 @@ class Kernel:
             self._do_wait(proc, effect.process.done, effect.timeout)
         elif isinstance(effect, Fork):
             child = self.spawn(effect.generator, name=effect.name, daemon=effect.daemon)
+            # A forked child's spans nest under the forker's active span
+            # (hedged RPC attempts trace back to the drain that fired them).
+            self.obs.tracer.adopt(child, proc)
             proc._set_resume(value=child)
             self._schedule(0.0, lambda: self._step(proc))
         elif isinstance(effect, Now):

@@ -20,7 +20,7 @@ any one use"); those take the iterator windows as extra input.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Sequence
 
 from ..store.elements import Element
 

@@ -19,12 +19,12 @@ conforms if **some** state from the first invocation's window, fixed as
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
 from ..store.elements import Element
 from .constraints import Constraint
-from .state import InvocationRecord, StateSnapshot
-from .termination import Failed, Outcome, Returned, Yielded
+from .state import InvocationRecord
+from .termination import Failed, Returned, Yielded
 from .trace import IterationTrace
 
 __all__ = ["IteratorSpec", "SpecViolationDetail", "structural_violations"]

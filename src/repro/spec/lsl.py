@@ -17,7 +17,7 @@ predicates (the property tests run them over random terms).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Union
+from typing import Hashable
 
 __all__ = [
     "Term", "Empty", "Insert", "Delete", "UnionOf", "DifferenceOf",

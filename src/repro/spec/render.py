@@ -10,11 +10,6 @@ the paper says.
 
 from __future__ import annotations
 
-from .constraints import (
-    GrowOnlyConstraint,
-    ImmutableConstraint,
-    TrivialConstraint,
-)
 from .figures import (
     Figure1ImmutableNoFailures,
     Figure5GrowOnlyPessimistic,

@@ -21,8 +21,7 @@ about at one state σ:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from ..net.address import NodeId
 from ..store.elements import Element

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .constraints import GrowOnlyConstraint, ImmutableConstraint, TrivialConstraint
+from .constraints import ImmutableConstraint
 from .figures import ALL_FIGURES
 from .iterspec import IteratorSpec
 

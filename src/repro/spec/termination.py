@@ -14,8 +14,8 @@ iterator the possibilities are:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Optional, Union
+from dataclasses import dataclass
+from typing import Any, Union
 
 from ..store.elements import Element
 

@@ -24,7 +24,7 @@ from ..net.address import NodeId
 from ..store.elements import Element
 from ..store.world import World
 from .state import InvocationRecord, StateSnapshot
-from .termination import Failed, Outcome, Returned, Yielded
+from .termination import Failed, Outcome, Yielded
 
 __all__ = ["IterationTrace", "TraceRecorder"]
 

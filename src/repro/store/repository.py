@@ -56,6 +56,12 @@ class Repository:
         self.cache = cache
         self.rpc_timeout = rpc_timeout
         self.resilience = resilience
+        self.obs = self.net.kernel.obs
+        metrics = self.obs.metrics
+        self._m_fetch_latency = metrics.histogram("repo.fetch_latency")
+        self._m_cache_hits = metrics.counter("repo.cache_hits")
+        self._m_membership_reads = metrics.counter("repo.membership_reads")
+        self._m_membership_age = metrics.histogram("repo.membership_age")
 
     # ------------------------------------------------------------------
     # host selection
@@ -96,9 +102,14 @@ class Repository:
         cheap but possibly stale — the optimistic choice), or a specific
         node name.
         """
+        self._m_membership_reads.value += 1
         if use_cache and self.cache is not None:
             cached = self.cache.get(("membership", coll_id), self.world.now)
             if cached is not None:
+                self._m_cache_hits.value += 1
+                # Staleness of the served snapshot: how old the cached
+                # view is at the moment a drain consumes it.
+                self._m_membership_age.observe(self.world.now - cached.read_at)
                 return cached
         if source == "primary":
             host = self.primary_of(coll_id)
@@ -149,8 +160,19 @@ class Repository:
         if use_cache and self.cache is not None:
             cached = self.cache.get(("object", element.oid), self.world.now)
             if cached is not None:
+                self._m_cache_hits.value += 1
                 return cached
-        value = yield from self._fetch_value(element, failover)
+        tracer = self.obs.tracer
+        span = tracer.start("repo.fetch", element=element.name,
+                            home=str(element.home))
+        try:
+            value = yield from self._fetch_value(element, failover)
+        except BaseException as exc:
+            tracer.finish(span, outcome=type(exc).__name__)
+            self._m_fetch_latency.observe(span.duration)
+            raise
+        tracer.finish(span, outcome="ok")
+        self._m_fetch_latency.observe(span.duration)
         if self.cache is not None:
             self.cache.put(("object", element.oid), value, self.world.now)
         return value

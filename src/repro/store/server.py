@@ -32,7 +32,7 @@ model file servers, not RAM caches).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Generator, Optional
+from typing import TYPE_CHECKING, Any, Generator
 
 from ..errors import (
     FailureException,

@@ -82,6 +82,11 @@ class World:
     def now(self) -> float:
         return self.kernel.now
 
+    @property
+    def obs(self):
+        """The kernel's observability surface (metrics + tracer)."""
+        return self.kernel.obs
+
     # ------------------------------------------------------------------
     # collection management
     # ------------------------------------------------------------------

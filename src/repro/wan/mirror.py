@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..dynsets.filesystem import FileMeta, FileSystem
+from ..dynsets.filesystem import FileSystem
 from ..net.fabric import Network
 from ..net.failures import FaultInjector, FaultPlan
 from ..net.link import FixedLatency

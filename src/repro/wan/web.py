@@ -14,11 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
-from ..net.address import NodeId
 from ..net.failures import FaultPlan
 from ..store.elements import Element
 from ..weaksets.base import WeakSet
-from ..weaksets.factory import make_weak_set, policy_for
+from ..weaksets.factory import make_weak_set
 from .workload import Scenario, ScenarioSpec, build_scenario
 
 __all__ = ["FaceRecord", "FacesWorkload", "build_faces"]

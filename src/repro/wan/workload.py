@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Optional
+from typing import Generator, Optional
 
 from ..net.address import NodeId
 from ..net.fabric import Network

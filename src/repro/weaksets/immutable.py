@@ -25,10 +25,8 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from ..spec.termination import Failed, Outcome, Returned, Yielded
-from ..store.elements import Element
+from ..spec.termination import Outcome, Returned, Yielded
 from .base import WeakSet
-from .iterator import ElementsIterator
 from .locking import LockClient
 from .snapshot import SnapshotIterator
 

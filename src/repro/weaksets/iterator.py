@@ -29,7 +29,7 @@ from typing import Any, Generator, Optional
 
 from ..errors import FailureException, IteratorProtocolError
 from ..net.address import NodeId
-from ..spec.termination import Failed, Outcome, Returned, Yielded
+from ..spec.termination import Failed, Outcome, Yielded
 from ..spec.trace import TraceRecorder
 from ..store.elements import Element
 from ..store.repository import Repository
@@ -121,7 +121,27 @@ class ElementsIterator:
         return outcome
 
     def drain(self, max_yields: Optional[int] = None) -> Generator[Any, Any, DrainResult]:
-        """Invoke to termination (or ``max_yields``); gather statistics."""
+        """Invoke to termination (or ``max_yields``); gather statistics.
+
+        Each drain is one ``drain`` span (tagged with the variant's
+        ``impl_name``) containing every RPC span it caused, and feeds
+        the ``drain.*`` metrics — the continuously-measured cost story
+        the bench regression gate diffs.
+        """
+        obs = self.repo.obs
+        span = obs.tracer.start("drain", impl=self.impl_name,
+                                coll=self.coll_id, client=str(self.client))
+        try:
+            result = yield from self._drain_loop(max_yields)
+        except BaseException as exc:
+            obs.tracer.finish(span, outcome=type(exc).__name__)
+            raise
+        obs.tracer.finish(span, outcome=type(result.outcome).__name__,
+                          yields=len(result.yields))
+        self._record_drain_metrics(result)
+        return result
+
+    def _drain_loop(self, max_yields: Optional[int]) -> Generator[Any, Any, DrainResult]:
         started_at = self.repo.world.now
         first_yield_at: Optional[float] = None
         yields: list[Yielded] = []
@@ -137,6 +157,16 @@ class ElementsIterator:
             else:
                 return DrainResult(yields, outcome, started_at,
                                    first_yield_at, self.repo.world.now)
+
+    def _record_drain_metrics(self, result: DrainResult) -> None:
+        metrics = self.repo.obs.metrics
+        metrics.histogram("drain.latency").observe(result.total_time)
+        metrics.histogram(f"drain.latency.{self.impl_name}").observe(result.total_time)
+        if result.time_to_first is not None:
+            metrics.histogram("drain.time_to_first").observe(result.time_to_first)
+        metrics.counter("drain.yields").inc(len(result.yields))
+        metrics.counter("drain.failed" if result.failed
+                        else "drain.completed").inc()
 
     def abandon(self) -> None:
         """Discard the iterator without terminating it.

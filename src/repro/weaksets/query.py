@@ -16,10 +16,10 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, Optional
 
-from ..spec.termination import Outcome, Returned, Yielded
+from ..spec.termination import Outcome, Yielded
 from ..store.elements import Element
 from .base import WeakSet
-from .iterator import DrainResult, ElementsIterator
+from .iterator import DrainResult
 
 __all__ = ["QueryIterator", "select"]
 

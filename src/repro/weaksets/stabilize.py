@@ -15,7 +15,7 @@ system can give.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Generator, Optional
+from typing import Any, Generator
 
 from ..sim.events import Sleep
 from ..spec.termination import Returned

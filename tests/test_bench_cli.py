@@ -1,6 +1,5 @@
 """The `python -m repro.bench` CLI."""
 
-import pytest
 
 from repro.bench.__main__ import main
 
@@ -62,3 +61,131 @@ def test_markdown_formatting_unit():
     assert "| 1 | yes |" in text
     assert "| 2.5000 | - |" in text
     assert format_markdown([]) == "*(empty)*"
+
+
+# ---------------------------------------------------------------------------
+# --obs artifact emission
+# ---------------------------------------------------------------------------
+
+def test_cli_obs_writes_schema_versioned_artifact(tmp_path, capsys):
+    from repro.bench.artifact import SCHEMA, load_artifact
+    path = tmp_path / "BENCH_obs.json"
+    assert main(["--obs", str(path), "E8"]) == 0
+    artifact = load_artifact(path)
+    assert artifact["schema"] == SCHEMA
+    (exp,) = artifact["experiments"]
+    assert exp["id"] == "E8"
+    assert exp["rows"] and exp["columns"]
+    assert exp["elapsed_wall_s"] > 0
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_cli_obs_flag_requires_path(capsys):
+    assert main(["--obs"]) == 2
+
+
+# ---------------------------------------------------------------------------
+# the compare regression gate
+# ---------------------------------------------------------------------------
+
+def write_fake_artifact(path, latency=1.0, spec="fig3", elapsed=0.5,
+                        extra_experiment=False, drop_row=False):
+    from repro.bench.artifact import write_artifact
+    rows = [{"impl": "DynamicSet", "latency": latency, "spec": spec},
+            {"impl": "StrongSet", "latency": 2.0, "spec": "fig4"}]
+    if drop_row:
+        rows = rows[:1]
+    records = [{"id": "E98", "title": "fake", "columns": ["impl", "latency", "spec"],
+                "rows": rows, "notes": "", "elapsed_wall_s": elapsed}]
+    if extra_experiment:
+        records.append({"id": "E99", "title": "new", "columns": ["x"],
+                        "rows": [{"x": 1}], "notes": ""})
+    write_artifact(path, records)
+    return str(path)
+
+
+def test_compare_identical_inputs_exit_zero(tmp_path, capsys):
+    a = write_fake_artifact(tmp_path / "a.json")
+    assert main(["compare", a, a]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_compare_ignores_wall_clock_noise(tmp_path, capsys):
+    old = write_fake_artifact(tmp_path / "old.json", elapsed=0.5)
+    new = write_fake_artifact(tmp_path / "new.json", elapsed=50.0)
+    assert main(["compare", old, new, "--tolerance", "0.01"]) == 0
+
+
+def test_compare_flags_injected_latency_regression(tmp_path, capsys):
+    old = write_fake_artifact(tmp_path / "old.json", latency=1.0)
+    new = write_fake_artifact(tmp_path / "new.json", latency=1.5)
+    assert main(["compare", old, new, "--tolerance", "0.1"]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "latency" in out
+
+
+def test_compare_within_tolerance_passes(tmp_path):
+    old = write_fake_artifact(tmp_path / "old.json", latency=1.0)
+    new = write_fake_artifact(tmp_path / "new.json", latency=1.05)
+    assert main(["compare", old, new, "--tolerance", "0.1"]) == 0
+
+
+def test_compare_warn_only_downgrades_exit(tmp_path, capsys):
+    old = write_fake_artifact(tmp_path / "old.json", latency=1.0)
+    new = write_fake_artifact(tmp_path / "new.json", latency=9.0)
+    assert main(["compare", old, new, "--tolerance", "0.1", "--warn-only"]) == 0
+    assert "WARN" in capsys.readouterr().out
+
+
+def test_compare_non_numeric_mismatch_fails_at_any_tolerance(tmp_path, capsys):
+    old = write_fake_artifact(tmp_path / "old.json", spec="fig3")
+    new = write_fake_artifact(tmp_path / "new.json", spec="fig4")
+    assert main(["compare", old, new, "--tolerance", "99"]) == 1
+
+
+def test_compare_missing_experiment_is_a_regression(tmp_path):
+    old = write_fake_artifact(tmp_path / "old.json", extra_experiment=True)
+    new = write_fake_artifact(tmp_path / "new.json")
+    assert main(["compare", old, new]) == 1
+
+
+def test_compare_new_experiment_is_informational(tmp_path):
+    old = write_fake_artifact(tmp_path / "old.json")
+    new = write_fake_artifact(tmp_path / "new.json", extra_experiment=True)
+    assert main(["compare", old, new]) == 0
+
+
+def test_compare_row_count_mismatch_is_a_regression(tmp_path):
+    old = write_fake_artifact(tmp_path / "old.json")
+    new = write_fake_artifact(tmp_path / "new.json", drop_row=True)
+    assert main(["compare", old, new]) == 1
+
+
+def test_compare_extra_ignore_keys(tmp_path):
+    old = write_fake_artifact(tmp_path / "old.json", latency=1.0)
+    new = write_fake_artifact(tmp_path / "new.json", latency=9.0)
+    assert main(["compare", old, new, "--ignore", "latency"]) == 0
+
+
+def test_compare_unreadable_file_exits_two(tmp_path, capsys):
+    a = write_fake_artifact(tmp_path / "a.json")
+    assert main(["compare", a, str(tmp_path / "missing.json")]) == 2
+
+
+def test_compare_bad_schema_exits_two(tmp_path):
+    import json
+    a = write_fake_artifact(tmp_path / "a.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "other/9", "experiments": []}))
+    assert main(["compare", a, str(bad)]) == 2
+
+
+def test_compare_baseline_against_current_e17_schema(tmp_path):
+    """The committed CI baseline stays loadable and self-consistent."""
+    from pathlib import Path
+    from repro.bench.artifact import load_artifact
+    baseline = Path(__file__).resolve().parent.parent / "ci" / "bench_baseline.json"
+    artifact = load_artifact(baseline)
+    ids = {e["id"] for e in artifact["experiments"]}
+    assert "E17" in ids
+    assert main(["compare", str(baseline), str(baseline)]) == 0

@@ -1,12 +1,10 @@
 """Tests for the bench reporting and metrics helpers."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.bench import ExperimentResult, format_kv, format_table, rate, summarize
-from repro.bench.metrics import Summary
 
 
 # ---------------------------------------------------------------------------

@@ -7,7 +7,6 @@ grow-only iterator's trace satisfies Figure 5.  This is the checker and
 the implementations validating each other under adversarial schedules.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import FailureException, StoreError

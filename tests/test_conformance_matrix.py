@@ -11,10 +11,9 @@ every figure.  The expected pattern:
   counterexamples.
 """
 
-import pytest
 
 from repro.sim import Sleep
-from repro.spec import ALL_FIGURES, check_conformance, spec_by_id
+from repro.spec import check_conformance, spec_by_id
 from repro.weaksets import (
     DynamicSet,
     GrowOnlySet,
@@ -53,7 +52,7 @@ def test_immutable_impl_conforms_to_fig3_and_weaker():
     iterator = ws.elements()
 
     def proc():
-        first = yield from iterator.invoke()
+        yield from iterator.invoke()
         net.isolate("s1")
         yield Sleep(0.3)
         net.rejoin("s1")
@@ -107,7 +106,7 @@ def test_grow_only_impl_conforms_to_fig5_and_fig6():
     iterator = ws.elements()
 
     def proc():
-        first = yield from iterator.invoke()
+        yield from iterator.invoke()
         yield from ws.repo.add("coll", "zz-grown", value="G")
         return (yield from iterator.drain())
 

@@ -1,6 +1,5 @@
 """stat / read_file and the explain_trace narrator."""
 
-import pytest
 
 from repro.errors import FailureException, NoSuchPathError
 from repro.dynsets import FileSystem, read_file, stat

@@ -1,8 +1,7 @@
 """weak_find: recursive predicate search over the distributed FS."""
 
-import pytest
 
-from repro.dynsets import FileMeta, FileSystem, weak_find
+from repro.dynsets import FileSystem, weak_find
 from repro.net import FixedLatency, Network, full_mesh
 from repro.sim import Kernel
 from repro.store import World

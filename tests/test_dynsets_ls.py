@@ -1,6 +1,5 @@
 """strict_ls vs weak_ls: the paper's motivating comparison."""
 
-import pytest
 
 from repro.dynsets import FileSystem, strict_ls, weak_ls
 from repro.net import FixedLatency, Network, full_mesh

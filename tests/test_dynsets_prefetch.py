@@ -1,9 +1,8 @@
 """Tests for the prefetch engine and the setOpen/setIterate/setClose API."""
 
-import pytest
 
-from repro.dynsets import DynSetHandle, PrefetchEngine, set_open
-from repro.net import FixedLatency, Network, full_mesh, wan_clusters
+from repro.dynsets import PrefetchEngine, set_open
+from repro.net import FixedLatency, Network, wan_clusters
 from repro.sim import Kernel, Sleep
 from repro.store import Repository, World
 
@@ -198,7 +197,7 @@ def test_streaming_first_result_before_total_completion():
 
     def proc():
         handle = yield from set_open(world, CLIENT, "coll", parallelism=2)
-        first = yield from handle.iterate()
+        yield from handle.iterate()
         t_first = kernel.now
         rest = yield from handle.iterate_all()
         return t_first, kernel.now, 1 + len(rest)

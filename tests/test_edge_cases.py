@@ -1,7 +1,6 @@
 """Edge cases across components: abandonment, first-state ambiguity,
 client crashes, long-horizon workload drift."""
 
-import pytest
 
 from repro.errors import IteratorProtocolError, SimulationError
 from repro.sim import Sleep
@@ -14,9 +13,9 @@ from repro.spec import (
 from repro.spec.state import InvocationRecord, StateSnapshot
 from repro.spec.trace import IterationTrace
 from repro.store import Element
-from repro.weaksets import DynamicSet, SnapshotSet
+from repro.weaksets import DynamicSet
 
-from helpers import CLIENT, drain_all, standard_world
+from helpers import CLIENT, standard_world
 
 
 # ---------------------------------------------------------------------------
@@ -156,7 +155,7 @@ def test_client_crash_parks_optimistic_query():
 def test_strong_query_fails_fast_when_client_crashes():
     """The strong iterator's next RPC from a crashed caller raises: its
     process dies with a simulation error instead of spinning."""
-    from repro.weaksets import StrongSet, install_lock_service
+    from repro.weaksets import StrongSet
     kernel, net, world, elements = standard_world(
         members=8, with_locks=True, service_time=0.05)
     ws = StrongSet(world, CLIENT, "coll")

@@ -2,7 +2,6 @@
 traces conformance-checked.  The closest thing to the paper's target
 deployment: many clients, common failures, rare-but-real mutations."""
 
-import pytest
 
 from repro.net import FaultPlan
 from repro.spec import Returned, check_conformance, spec_by_id

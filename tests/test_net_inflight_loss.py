@@ -6,7 +6,6 @@ reply that does land late — or never — must not fire a stale
 :class:`~repro.sim.events.Signal` into a caller that has moved on.
 """
 
-import pytest
 
 from repro.errors import NodeCrashFailure, PartitionFailure, TimeoutFailure
 from repro.net import Address, FixedLatency, Message, Network, full_mesh

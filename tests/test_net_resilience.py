@@ -25,7 +25,7 @@ from repro.spec import Returned
 from repro.store import Repository
 from repro.weaksets import DynamicSet
 
-from helpers import CLIENT, PRIMARY, drain_all, standard_world
+from helpers import CLIENT, drain_all, standard_world
 
 
 class EchoService:

@@ -1,6 +1,5 @@
 """NetworkStats accounting."""
 
-import pytest
 
 from repro.net import FixedLatency, Network, full_mesh
 from repro.sim import Kernel

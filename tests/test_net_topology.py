@@ -181,13 +181,13 @@ def test_random_graph_connected_and_deterministic():
                             edge_probability=0.2)
 
     t1, t2 = build(4), build(4)
-    pairs1 = {frozenset((l.a, l.b)) for l in t1.links()}
-    pairs2 = {frozenset((l.a, l.b)) for l in t2.links()}
+    pairs1 = {frozenset((lk.a, lk.b)) for lk in t1.links()}
+    pairs2 = {frozenset((lk.a, lk.b)) for lk in t2.links()}
     assert pairs1 == pairs2                         # deterministic
     for i in range(1, 10):
         assert t1.connected("n0", f"n{i}")          # patched connected
     t3 = build(5)
-    pairs3 = {frozenset((l.a, l.b)) for l in t3.links()}
+    pairs3 = {frozenset((lk.a, lk.b)) for lk in t3.links()}
     assert pairs1 != pairs3                         # seed-sensitive
 
 

@@ -1,6 +1,5 @@
 """Lower-level transport behaviours: drops, late replies, counters."""
 
-import pytest
 
 from repro.errors import NodeCrashFailure, TimeoutFailure
 from repro.net import Address, FixedLatency, Message, Network, full_mesh

@@ -1,0 +1,158 @@
+"""Metric instruments: counters, gauges, histogram bucketing edge cases."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+# ---------------------------------------------------------------------------
+# counters and gauges
+# ---------------------------------------------------------------------------
+
+def test_counter_accumulates_and_rejects_decrease():
+    c = Counter("x")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    assert c.value == 3.5
+
+
+def test_gauge_moves_both_ways():
+    g = Gauge("depth")
+    g.set(7)
+    g.add(-3)
+    assert g.value == 4
+
+
+# ---------------------------------------------------------------------------
+# histogram bucketing edge cases
+# ---------------------------------------------------------------------------
+
+def test_histogram_boundary_values_are_inclusive_upper():
+    h = Histogram("lat", bounds=(1.0, 2.0, 4.0))
+    h.observe(1.0)          # exactly on a bound -> that bucket
+    h.observe(1.0000001)    # just past -> next bucket
+    h.observe(2.0)
+    assert h.counts == [1, 2, 0, 0]
+
+
+def test_histogram_below_first_bound_and_negative():
+    h = Histogram("lat", bounds=(1.0, 2.0))
+    h.observe(0.0)
+    h.observe(-5.0)         # clock skew would be a bug, but never lost
+    assert h.counts[0] == 2
+    assert h.vmin == -5.0
+
+
+def test_histogram_overflow_lands_in_inf_bucket():
+    h = Histogram("lat", bounds=(1.0, 2.0))
+    h.observe(100.0)
+    assert h.counts == [0, 0, 1]
+    assert h.count == 1
+    assert h.vmax == 100.0
+
+
+def test_histogram_rejects_nan():
+    h = Histogram("lat")
+    with pytest.raises(ValueError):
+        h.observe(float("nan"))
+    assert h.count == 0
+
+
+def test_histogram_accepts_infinity_into_overflow():
+    h = Histogram("lat", bounds=(1.0,))
+    h.observe(math.inf)
+    assert h.counts == [0, 1]
+    assert h.vmax == math.inf
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=())
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=(1.0, 1.0))       # duplicates
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=(2.0, 1.0))       # decreasing
+
+
+def test_histogram_mean_min_max():
+    h = Histogram("lat", bounds=(10.0,))
+    for v in (1.0, 2.0, 3.0):
+        h.observe(v)
+    assert h.mean == 2.0
+    assert (h.vmin, h.vmax) == (1.0, 3.0)
+
+
+def test_histogram_quantiles_interpolate_and_clamp():
+    h = Histogram("lat", bounds=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 1.6, 3.0):
+        h.observe(v)
+    assert h.quantile(0.0) == 0.5               # clamps to observed min
+    assert h.quantile(1.0) == 3.0               # clamps to observed max
+    mid = h.quantile(0.5)
+    assert 1.0 <= mid <= 2.0                    # inside the containing bucket
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_histogram_quantile_empty_and_single():
+    h = Histogram("lat")
+    assert h.quantile(0.5) == 0.0
+    h.observe(0.3)
+    assert h.quantile(0.5) == pytest.approx(0.3)
+
+
+def test_default_buckets_are_strictly_increasing():
+    assert list(DEFAULT_LATENCY_BUCKETS) == sorted(set(DEFAULT_LATENCY_BUCKETS))
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+def test_registry_get_or_create_returns_same_instrument():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.histogram("h") is reg.histogram("h")
+    assert len(reg) == 2
+    assert "a" in reg and "missing" not in reg
+
+
+def test_registry_kind_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.counter("a")
+    with pytest.raises(TypeError):
+        reg.gauge("a")
+
+
+def test_registry_value_reads_without_creating():
+    reg = MetricsRegistry()
+    assert reg.value("never.touched") == 0
+    assert reg.get("never.touched") is None
+    assert len(reg) == 0
+    reg.counter("c").inc(3)
+    assert reg.value("c") == 3
+    reg.histogram("h").observe(1.0)
+    with pytest.raises(TypeError):
+        reg.value("h")                          # histograms via get()
+
+
+def test_registry_snapshot_is_sorted_and_json_ready():
+    import json
+    reg = MetricsRegistry()
+    reg.counter("b").inc()
+    reg.gauge("a").set(2)
+    reg.histogram("c").observe(0.01)
+    snap = reg.snapshot()
+    assert list(snap) == ["a", "b", "c"]
+    assert json.loads(json.dumps(snap)) == snap

@@ -4,8 +4,7 @@ import itertools
 
 from hypothesis import given, settings, strategies as st
 
-from repro.net import FixedLatency, Network, Topology, full_mesh
-from repro.sim import Kernel, Sleep
+from repro.net import FixedLatency, Topology
 from repro.spec import (
     Returned,
     Yielded,
@@ -15,7 +14,7 @@ from repro.spec import (
 )
 from repro.spec.state import InvocationRecord, StateSnapshot
 from repro.spec.trace import IterationTrace
-from repro.store import Element, World
+from repro.store import Element
 from repro.weaksets import DynamicSet, GrowOnlySet, SnapshotSet
 
 from helpers import CLIENT, drain_all, standard_world

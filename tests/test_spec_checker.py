@@ -16,7 +16,6 @@ from repro.spec.state import InvocationRecord, StateSnapshot
 from repro.spec.trace import IterationTrace
 from repro.store import Element
 
-from helpers import CLIENT, drain_all, standard_world
 
 
 def elem(name):

@@ -11,7 +11,6 @@ from repro.spec.lsl import (
     Empty,
     Insert,
     IntersectionOf,
-    Term,
     UnionOf,
     evaluate,
     is_subset,

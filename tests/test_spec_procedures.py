@@ -6,7 +6,7 @@ from repro.errors import SpecViolation
 from repro.spec import CheckedProcedures
 from repro.store import Repository
 
-from helpers import CLIENT, drain_all, standard_world
+from helpers import CLIENT, standard_world
 
 
 def make_checked(strict=False, **kwargs):

@@ -1,16 +1,8 @@
 """§3.1/§3.3 relaxed specs checked against their implementations."""
 
-import pytest
 
-from repro.sim import Sleep
 from repro.spec import check_conformance, spec_by_id
-from repro.weaksets import (
-    PerRunGrowOnlySet,
-    PerRunImmutableSet,
-    SnapshotSet,
-    StrongSet,
-    install_lock_service,
-)
+from repro.weaksets import PerRunGrowOnlySet, PerRunImmutableSet, SnapshotSet, StrongSet
 
 from helpers import CLIENT, drain_all, standard_world
 

@@ -1,9 +1,8 @@
 """World invariants under randomized operation sequences."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import FailureException, MutationNotAllowed, StoreError
+from repro.errors import FailureException, StoreError
 from repro.store import Repository
 from repro.wan import Mutator, ScenarioSpec, build_scenario
 

@@ -79,7 +79,7 @@ def test_membership_view_cached_and_bypassed():
     repo = Repository(world, CLIENT, cache=cache)
 
     def proc():
-        v1 = yield from repo.read_membership("coll", use_cache=True)
+        yield from repo.read_membership("coll", use_cache=True)
         e = yield from repo.add("coll", "new", value="N")
         stale = yield from repo.read_membership("coll", use_cache=True)
         fresh = yield from repo.read_membership("coll", use_cache=False)

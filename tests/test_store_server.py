@@ -8,10 +8,7 @@ from repro.errors import (
     NoSuchObjectError,
     SimulationError,
 )
-from repro.net import FixedLatency, Network, full_mesh
-from repro.sim import Kernel, Sleep
-from repro.store import Repository, World
-from repro.store.server import ObjectServer
+from repro.store import Repository
 
 from helpers import CLIENT, PRIMARY, standard_world
 
@@ -95,7 +92,6 @@ def test_mutation_via_replica_is_rejected():
 
 def test_add_member_idempotent_and_name_conflicts():
     kernel, net, world, elements = standard_world(members=1)
-    repo = Repository(world, CLIENT)
     from repro.store import Element
     same = elements[0]
     conflicting = Element(same.name, "different-oid", "s2")

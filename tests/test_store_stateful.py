@@ -6,14 +6,8 @@ a plain Python set.  After every rule: ground truth equals the model,
 and the world invariants hold.
 """
 
-import pytest
 from hypothesis import settings
-from hypothesis.stateful import (
-    RuleBasedStateMachine,
-    initialize,
-    invariant,
-    rule,
-)
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 from hypothesis import strategies as st
 
 from repro.errors import FailureException, StoreError

@@ -1,9 +1,7 @@
 """The software-mirror workload: weak ls and weak find over packages."""
 
-import pytest
 
 from repro.dynsets import strict_ls, weak_find, weak_ls
-from repro.net import FaultPlan
 from repro.wan import CATEGORIES, build_mirror
 
 

@@ -1,9 +1,7 @@
 """Tests for the motivating workloads and the generic scenario builder."""
 
-import pytest
 
 from repro.net import FaultPlan
-from repro.sim import Sleep
 from repro.spec import Returned, check_conformance, spec_by_id
 from repro.wan import (
     Mutator,

@@ -1,19 +1,11 @@
 """DynamicSet (Figure 6): optimistic, grow-and-shrink, never fails."""
 
-import pytest
 
 from repro.sim import Sleep
-from repro.spec import (
-    Failed,
-    Returned,
-    Yielded,
-    check_conformance,
-    spec_by_id,
-    weak_guarantee_violations,
-)
+from repro.spec import Failed, Returned, check_conformance, spec_by_id, weak_guarantee_violations
 from repro.weaksets import DynamicSet
 
-from helpers import CLIENT, PRIMARY, drain_all, standard_world
+from helpers import CLIENT, drain_all, standard_world
 
 
 def test_yields_everything_on_quiet_world():
@@ -112,7 +104,7 @@ def test_give_up_after_bounds_blocking():
     iterator = ws.elements()
 
     def proc():
-        first = yield from iterator.invoke()
+        yield from iterator.invoke()
         net.split([CLIENT, "s0"], ["s1"], ["s2"])
         rest = yield from iterator.drain()
         return rest.outcome

@@ -1,16 +1,8 @@
 """GrowOnlySet (Figure 5) and the §3.3 per-run ghost protocol."""
 
-import pytest
 
 from repro.errors import MutationNotAllowed
-from repro.spec import (
-    Failed,
-    Returned,
-    Yielded,
-    check_conformance,
-    per_run_grow_only,
-    spec_by_id,
-)
+from repro.spec import Failed, Returned, check_conformance, per_run_grow_only, spec_by_id
 from repro.weaksets import GrowOnlySet, PerRunGrowOnlySet
 
 from helpers import CLIENT, PRIMARY, drain_all, standard_world

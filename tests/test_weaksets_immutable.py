@@ -1,19 +1,12 @@
 """ImmutableSet (Fig 3), Figure1Set (Fig 1), PerRunImmutableSet (§3.1)."""
 
-import pytest
 
 from repro.errors import MutationNotAllowed
 from repro.sim import Sleep
-from repro.spec import Failed, Returned, Yielded, check_conformance, spec_by_id
-from repro.weaksets import (
-    Figure1Set,
-    ImmutableSet,
-    PerRunImmutableSet,
-    StrongSet,
-    install_lock_service,
-)
+from repro.spec import Returned, check_conformance, spec_by_id
+from repro.weaksets import Figure1Set, ImmutableSet, PerRunImmutableSet, StrongSet
 
-from helpers import CLIENT, PRIMARY, drain_all, standard_world
+from helpers import CLIENT, drain_all, standard_world
 
 
 def immutable_world(**kwargs):
@@ -74,7 +67,7 @@ def test_mutation_rejected_so_constraint_cannot_break():
     assert kernel.run_process(proc()) == "rejected"
     # an iteration after the rejected mutation is fully conformant —
     # the set's value (post-seal) never changed
-    result = drain_all(kernel, ws)
+    drain_all(kernel, ws)
     report = check_conformance(ws.last_trace, spec_by_id("fig3"), world)
     assert report.conformant, report.counterexample()
 

@@ -1,11 +1,10 @@
 """Iterator protocol mechanics and WeakSet facade behaviours."""
 
-import pytest
 
 from repro.errors import IteratorProtocolError
 from repro.net import FixedLatency, Network, full_mesh
 from repro.sim import Kernel
-from repro.spec import Returned, Yielded
+from repro.spec import Returned
 from repro.store import World
 from repro.weaksets import DrainResult, DynamicSet, SnapshotSet
 

@@ -1,6 +1,5 @@
 """Writer starvation and the writer-priority option."""
 
-import pytest
 
 from repro.sim import Sleep
 from repro.store import Repository

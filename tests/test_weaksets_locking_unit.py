@@ -1,6 +1,5 @@
 """LockService unit behaviours beyond the StrongSet integration tests."""
 
-import pytest
 
 from repro.errors import LockUnavailableFailure, TimeoutFailure
 from repro.sim import Sleep

@@ -1,11 +1,10 @@
 """Predicate queries over weak sets."""
 
-import pytest
 
 from repro.spec import Returned
 from repro.weaksets import DynamicSet, select
 
-from helpers import CLIENT, drain_all, standard_world
+from helpers import CLIENT, standard_world
 
 
 def test_select_filters_by_value():

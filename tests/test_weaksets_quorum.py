@@ -1,9 +1,8 @@
 """QuorumGrowOnlySet: Figure 5 with quorum reads of s_pre."""
 
-import pytest
 
 from repro.sim import Sleep
-from repro.spec import Failed, Returned, check_conformance, spec_by_id
+from repro.spec import Returned, check_conformance, spec_by_id
 from repro.weaksets import GrowOnlySet, QuorumGrowOnlySet
 
 from helpers import CLIENT, PRIMARY, drain_all, standard_world

@@ -1,8 +1,6 @@
 """SnapshotSet (Figure 4): first-state snapshot, loss of mutations."""
 
-import pytest
 
-from repro.sim import Sleep
 from repro.spec import Failed, Returned, Yielded, check_conformance, spec_by_id
 from repro.weaksets import SnapshotSet
 

@@ -1,6 +1,5 @@
 """iterate_until_stable: the paper's run-it-again idiom."""
 
-import pytest
 
 from repro.sim import Sleep
 from repro.weaksets import DynamicSet, GrowOnlySet, iterate_until_stable

@@ -1,10 +1,9 @@
 """StrongSet + LockService: the serializable baseline."""
 
-import pytest
 
 from repro.errors import LockUnavailableFailure, TimeoutFailure
-from repro.sim import Kernel, Sleep
-from repro.spec import Failed, Returned
+from repro.sim import Sleep
+from repro.spec import Returned
 from repro.weaksets import LockClient, StrongSet, install_lock_service
 from repro.store import Repository
 
@@ -142,8 +141,8 @@ def test_lease_expiry_unblocks_writers():
 def test_lock_wait_timeout_gives_failed_iteration():
     kernel, net, world, elements = standard_world(members=3, with_locks=True)
     holder = StrongSet(world, "s2", "coll")
-    ws = StrongSet(world, CLIENT, "coll",
-                   lock_wait_timeout=1.0)
+    _ws = StrongSet(world, CLIENT, "coll",
+                    lock_wait_timeout=1.0)
     h_iter = holder.elements()
 
     def hold_forever():
