@@ -1,9 +1,11 @@
 """E17 — the observability layer itself: registry/span integrity under load.
 
 Asserts the invariants the CI acceptance gate relies on: spans nest
-(every ``rpc.attempt`` recorded during a drain traces back to its
-``drain`` span), the registry agrees with the legacy ``NetworkStats``
-facade by construction, and the exported JSONL trace round-trips.
+(every ``rpc.attempt`` traces back to a workload *root* span — the
+client's ``drain``, or a background protocol's ``sync.round`` /
+``repair.scrub`` / ``recovery.replay``), the registry agrees with the
+legacy ``NetworkStats`` facade by construction, and the exported JSONL
+trace round-trips.
 
 Setting ``REPRO_TRACE_JSONL`` makes the run export one full seeded
 trace — the second artifact the CI bench-smoke job uploads.
@@ -13,6 +15,7 @@ import os
 
 from repro.bench import run_obs
 from repro.bench.artifact import record_result
+from repro.bench.exp_obs import ROOT_SPANS
 from repro.obs import read_jsonl, spans_from_records
 
 
@@ -35,13 +38,17 @@ def test_e17_observability(benchmark):
     assert by_metric["drain.yields"]["value"] > 0
 
     # The nesting invariant the tracer promises: every rpc.attempt span
-    # recorded under a drain reaches its drain span by parent links.
+    # reaches a workload root span (drain / sync.round / repair.scrub /
+    # recovery.replay) by parent links.
     assert by_metric["spans.drain"]["value"] > 0
     assert by_metric["spans.rpc_attempt"]["value"] > 0
     assert (by_metric["spans.nested_attempts"]["value"]
             == by_metric["spans.rpc_attempt"]["value"])
     # attempt ⊂ rpc.call ⊂ drain (at least), fetch adds a level
     assert by_metric["spans.max_depth"]["value"] >= 3
+    # The background protocols are real RPC users now: anti-entropy
+    # rounds ran and every server write-ahead-logged its mutations.
+    assert by_metric["sync.rounds"]["value"] > 0
 
     # Histograms saw every attempt (a handful may be cut short by the
     # drain's give-up bound killing in-flight generators).
@@ -55,12 +62,12 @@ def test_e17_observability(benchmark):
         names = {s.name for s in spans}
         assert {"drain", "rpc.call", "rpc.attempt"} <= names
 
-        def reaches_drain(span):
+        def reaches_root(span):
             while span.parent_id is not None:
                 span = by_id[span.parent_id]
-                if span.name == "drain":
+                if span.name in ROOT_SPANS:
                     return True
             return False
 
         attempts = [s for s in spans if s.name == "rpc.attempt"]
-        assert attempts and all(reaches_drain(s) for s in attempts)
+        assert attempts and all(reaches_root(s) for s in attempts)

@@ -1,4 +1,4 @@
-"""The evaluation harness: experiments E1–E10 (see DESIGN.md §5).
+"""The evaluation harness: experiments E1–E18 (see DESIGN.md §5).
 
 Each ``run_*`` function builds its worlds, runs the simulation, and
 returns an :class:`~repro.bench.report.ExperimentResult` whose ``str()``
@@ -22,6 +22,7 @@ from .exp_latency import (
 from .exp_locking import run_disconnection, run_lock_cost
 from .exp_motivating import run_motivating
 from .exp_obs import run_obs
+from .exp_recovery import run_recovery
 from .exp_resilience import run_resilience
 from .exp_scale import run_scale
 from .exp_system import run_system
@@ -52,6 +53,7 @@ __all__ = [
     "run_motivating",
     "run_obs",
     "run_prefetch",
+    "run_recovery",
     "run_resilience",
     "run_reachability",
     "run_scale",
@@ -84,4 +86,5 @@ ALL_EXPERIMENTS = {
     "E15": run_detector,
     "E16": run_resilience,
     "E17": run_obs,
+    "E18": run_recovery,
 }

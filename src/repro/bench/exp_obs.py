@@ -40,7 +40,14 @@ _COUNTERS = (
     "rpc.failovers", "rpc.breaker_trips", "rpc.breaker_fast_fails",
     "repo.membership_reads", "repo.cache_hits",
     "drain.completed", "drain.failed", "drain.yields",
+    "sync.rounds", "sync.failures",
+    "wal.intents", "recovery.replays", "repair.scrub_rounds",
 )
+
+#: Span names that root an RPC in a workload: a client-facing drain, or
+#: one of the background protocols (anti-entropy, scrub, intent replay).
+#: The nesting invariant says every ``rpc.attempt`` reaches one of them.
+ROOT_SPANS = ("drain", "sync.round", "repair.scrub", "recovery.replay")
 
 _HISTOGRAMS = (
     "net.delivery_delay", "rpc.attempt_latency",
@@ -110,7 +117,8 @@ def run_obs(seeds: Iterable[int] = (0, 1, 2, 3), members: int = 10,
         columns=["metric", "kind", "value", "mean", "p95"],
         notes="every number is virtual-time/seeded (machine-independent); "
               "spans.nested_attempts counts rpc.attempt spans whose ancestry "
-              "reaches a drain span — the tracer's nesting invariant",
+              "reaches a workload root span (drain, sync.round, repair.scrub "
+              "or recovery.replay) — the tracer's nesting invariant",
     )
     counters: dict[str, float] = {name: 0 for name in _COUNTERS}
     histograms: dict[str, Optional[Histogram]] = {name: None for name in _HISTOGRAMS}
@@ -133,7 +141,7 @@ def run_obs(seeds: Iterable[int] = (0, 1, 2, 3), members: int = 10,
         attempt_spans += len(attempts)
         nested_attempts += sum(
             1 for a in attempts
-            if any(s.name == "drain" for s in tracer.ancestors(a)))
+            if any(s.name in ROOT_SPANS for s in tracer.ancestors(a)))
         max_depth = max(max_depth, _span_depth(obs))
         if export_trace is not None and not exported:
             export_jsonl(export_trace, metrics=registry, tracer=tracer,

@@ -51,6 +51,15 @@ class FaultSchedule:
     def restore_link_at(self, time: float, a: NodeId, b: NodeId) -> "FaultSchedule":
         return self.at(time, lambda net: net.restore_link(a, b))
 
+    def crash_on_wal_step(self, time: float, node: NodeId,
+                          step: str = "home-deleted") -> "FaultSchedule":
+        """Arm a one-shot crash point: ``node`` crashes the next time an
+        intent in its store's write-ahead log reaches ``step`` —
+        deterministic crash-mid-operation (pair with :meth:`recover_at`)."""
+        def arm(net: Network) -> None:
+            net.node(node).service("store").wal.arm_crash(step)
+        return self.at(time, arm)
+
     def run(self, net: Network) -> Generator:
         """Simulated process executing the schedule (spawn as daemon)."""
         last = 0.0
@@ -75,10 +84,17 @@ class FaultPlan:
     link_cut_rate: float = 0.0
     mean_downtime: float = 1.0
     protected: frozenset[NodeId] = frozenset()
+    #: rate of *crash-mid-operation* injections: arm a one-shot crash
+    #: point at a named WAL step on a node hosting a primary, so the
+    #: node crashes exactly when its next multi-step mutation reaches
+    #: that step (the crash window wall-clock injection can only graze).
+    wal_crash_rate: float = 0.0
+    wal_crash_steps: tuple[str, ...] = ("home-deleted",)
 
     def total_rate(self, n_nodes: int, n_links: int) -> float:
         return (self.crash_rate * n_nodes
                 + self.isolate_rate * n_nodes
+                + self.wal_crash_rate * n_nodes
                 + self.link_cut_rate * n_links)
 
 
@@ -106,13 +122,11 @@ class FaultInjector:
         return [n for n in sorted(self.net.nodes) if n not in self.plan.protected]
 
     def run(self) -> Generator:
-        nodes = self._victims()
-        if not nodes:
-            return
         while True:
-            # Re-read the link set every iteration: links added after the
-            # injector started are eligible targets (and the total hazard
-            # rate tracks the current topology).
+            # Re-read nodes *and* links every iteration: targets added
+            # after the injector started are eligible (and the total
+            # hazard rate tracks the current topology).
+            nodes = self._victims()
             links = self.net.topology.links()
             total = self.plan.total_rate(len(nodes), len(links))
             if total <= 0:
@@ -122,6 +136,7 @@ class FaultInjector:
             r = self.stream.random() * total
             crash_share = self.plan.crash_rate * len(nodes)
             isolate_share = self.plan.isolate_rate * len(nodes)
+            wal_share = self.plan.wal_crash_rate * len(nodes)
             if r < crash_share:
                 node = self.stream.choice(nodes)
                 if self.net.node(node).up:
@@ -129,10 +144,50 @@ class FaultInjector:
             elif r < crash_share + isolate_share:
                 node = self.stream.choice(nodes)
                 yield Fork(self._isolate_then_rejoin(node), "", True)
+            elif r < crash_share + isolate_share + wal_share:
+                candidates = self._wal_victims(nodes)
+                if candidates:
+                    node = self.stream.choice(candidates)
+                    step = self.stream.choice(list(self.plan.wal_crash_steps))
+                    self._arm_wal_crash(node, step)
             elif links:
                 link = self.stream.choice(links)
                 if link.up:
                     yield Fork(self._cut_then_restore(link.a, link.b), "", True)
+
+    def _wal_victims(self, nodes: list[NodeId]) -> list[NodeId]:
+        """Victims where a crash point can actually bite: nodes whose
+        store service intent-logs multi-step mutations (i.e. hosts a
+        primary collection)."""
+        out = []
+        for node in nodes:
+            service = self.net.node(node).services.get("store")
+            wal = getattr(service, "wal", None)
+            collections = getattr(service, "collections", {})
+            if wal is not None and any(
+                    state.is_primary for state in collections.values()):
+                out.append(node)
+        return out
+
+    def _arm_wal_crash(self, node: NodeId, step: str) -> None:
+        service = self.net.node(node).services.get("store")
+
+        def fire() -> None:
+            if not self.net.node(node).up:
+                return
+            self.injected.append((self.net.now, "wal-crash", f"{node}@{step}"))
+            self.net.crash(node)
+            self.net.kernel.spawn(
+                self._recover_later(node), name=f"wal-recover:{node}", daemon=True
+            )
+
+        service.wal.arm_crash(step, fire)
+        self.injected.append((self.net.now, "wal-arm", f"{node}@{step}"))
+
+    def _recover_later(self, node: NodeId) -> Generator:
+        yield Sleep(self._downtime())
+        if not self.net.node(node).up:
+            self.net.recover(node)
 
     def _downtime(self) -> float:
         return self.stream.exponential(self.plan.mean_downtime)

@@ -7,26 +7,36 @@ lazily synchronized replicas, client caches, and the ground-truth
 ``reachable`` function.  See DESIGN.md §2.
 """
 
+from .antientropy import AntiEntropySyncer, apply_delta
 from .cache import ClientCache
 from .elements import Element, ObjectId, StoredObject, fresh_oid
 from .reachability import Figure2, figure2_world
+from .recovery import RecoveryManager, RepairDaemon
 from .repository import MembershipView, Repository
-from .server import CollectionState, ObjectServer, POLICIES
+from .server import CollectionState, ObjectServer, POLICIES, erase_step
+from .wal import IntentLog, IntentRecord
 from .world import CollectionInfo, World
 
 __all__ = [
+    "AntiEntropySyncer",
     "ClientCache",
     "CollectionInfo",
     "CollectionState",
     "Element",
     "Figure2",
+    "IntentLog",
+    "IntentRecord",
     "MembershipView",
     "ObjectId",
     "ObjectServer",
     "POLICIES",
+    "RecoveryManager",
+    "RepairDaemon",
     "Repository",
     "StoredObject",
     "World",
+    "apply_delta",
+    "erase_step",
     "figure2_world",
     "fresh_oid",
 ]

@@ -1,0 +1,280 @@
+"""Crash recovery: intent replay on node recovery, plus a repair/scrub daemon.
+
+Two cooperating pieces turn the per-server intent log
+(:mod:`repro.store.wal`) into an actual guarantee:
+
+* :class:`RecoveryManager` — hooked into ``Node.recover`` via
+  ``ObjectServer.on_recover``.  When a node comes back it replays its
+  pending intents *roll-forward*: completed steps are skipped, the rest
+  are idempotent re-deletes issued over resilient RPC, and the final
+  membership pop lands exactly once.  A replay blocked by an
+  unreachable holder leaves the intent pending; the scrub daemon
+  retries it.
+* :class:`RepairDaemon` — a background process that periodically (a)
+  retries pending intents on every up node, (b) probes a rotating
+  budget of members' home objects over RPC and completes the removal of
+  any *dangling member* (member listed, home object dead — the
+  signature of a crash that outran its own log, e.g. with the WAL
+  ablated), and (c) probes the holders of recent removals and deletes
+  *orphaned copies* (a live data object for an element no collection
+  lists).
+
+Both speak real RPC through :class:`~repro.net.resilience.ResilientClient`
+with retry/backoff, so recovery itself is fault-exposed: its traffic
+shows in ``rpc.attempts``, its progress in the ``recovery.*`` and
+``repair.*`` metrics, and its timing in ``recovery.replay`` /
+``repair.scrub`` spans.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ..errors import FailureException, SimulationError
+from ..net.resilience import ResilientClient, RetryPolicy
+from ..sim.events import Sleep
+from .server import ObjectServer, erase_step
+from .wal import PENDING, IntentRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .world import World
+
+__all__ = ["RecoveryManager", "RepairDaemon"]
+
+
+class RecoveryManager:
+    """Replays pending intents when their node recovers."""
+
+    def __init__(self, world: "World"):
+        self.world = world
+        self.client = ResilientClient(
+            world.net,
+            policy=RetryPolicy(max_attempts=3, base_delay=0.05, max_delay=0.5),
+            stream_name="store.recovery",
+        )
+        metrics = world.kernel.obs.metrics
+        self._m_replays = metrics.counter("recovery.replays")
+        self._m_replayed = metrics.counter("recovery.intents_replayed")
+        self._m_blocked = metrics.counter("recovery.intents_blocked")
+        self._m_latency = metrics.histogram("recovery.latency")
+
+    # -- the on_recover hook ----------------------------------------------
+    def on_node_recover(self, server: ObjectServer) -> None:
+        """Spawn a replay process for ``server`` if it has pending intents.
+
+        The process is tracked as a node handler, so a re-crash during
+        recovery kills it mid-replay — and the *next* recovery resumes
+        from the steps it managed to mark.
+        """
+        if not self.world.recovery_enabled:
+            return
+        if not server.wal.pending():
+            return
+        proc = self.world.kernel.spawn(
+            self._replay(server), name=f"recover:{server.node_id}", daemon=True
+        )
+        self.world.net.node(server.node_id).track_handler(proc)
+
+    def _replay(self, server: ObjectServer) -> Generator:
+        started = self.world.now
+        tracer = self.world.kernel.obs.tracer
+        span = tracer.start("recovery.replay", node=str(server.node_id))
+        self._m_replays.inc()
+        replayed = blocked = 0
+        for record in server.wal.pending():
+            done = yield from self.roll_forward(server, record)
+            if done:
+                replayed += 1
+            else:
+                blocked += 1
+        self._m_latency.observe(self.world.now - started)
+        tracer.finish(span, replayed=replayed, blocked=blocked)
+
+    # -- roll-forward (shared with the scrub daemon) ----------------------
+    def roll_forward(self, server: ObjectServer,
+                     record: IntentRecord) -> Generator[object, object, bool]:
+        """Finish one pending intent; True when it settled.
+
+        Re-executes every unmarked step (deletes are idempotent) and
+        runs the final local step.  Returns False — intent stays
+        pending — when a holder is unreachable or this node goes down
+        mid-replay; a later replay or scrub round retries.
+        """
+        if record.status is not PENDING or record.in_flight:
+            return record.status is not PENDING
+        record.in_flight = True
+        try:
+            state = server.collections.get(record.coll_id)
+            if record.kind == "seal":
+                if state is not None:
+                    state.sealed = True
+                server.wal.commit(record)
+                return True
+            element = record.element
+            if state is None or element is None:
+                server.wal.abort(record)
+                return True
+            net = self.world.net
+            for holder in element.replicas + (element.home,):
+                step = erase_step(element, holder)
+                if record.done(step):
+                    continue
+                try:
+                    if holder == server.node_id:
+                        yield from server.delete_object(element.oid)
+                    else:
+                        if not net.node(server.node_id).up:
+                            return False
+                        yield from self.client.call(
+                            server.node_id, holder, ObjectServer.SERVICE,
+                            "delete_object", element.oid,
+                        )
+                except (FailureException, SimulationError):
+                    self._m_blocked.inc()
+                    return False
+                server.wal.mark(record, step)
+            server._finish_erase(state, element, record)
+            self._m_replayed.inc()
+            return True
+        finally:
+            record.in_flight = False
+
+
+class RepairDaemon:
+    """Background scrub: retry pending intents, heal dangling members,
+    delete orphaned copies of removed elements."""
+
+    #: members whose home is probed per collection per round (rotating
+    #: cursor) — bounds steady-state probe traffic on large collections.
+    PROBE_BUDGET = 4
+
+    def __init__(self, world: "World"):
+        self.world = world
+        self.client = ResilientClient(
+            world.net,
+            policy=RetryPolicy(max_attempts=2, base_delay=0.05, max_delay=0.25),
+            stream_name="store.repair",
+        )
+        self._cursors: dict[str, int] = {}
+        metrics = world.kernel.obs.metrics
+        self._m_rounds = metrics.counter("repair.scrub_rounds")
+        self._m_probes = metrics.counter("repair.probes")
+        self._m_dangling = metrics.counter("repair.dangling_healed")
+        self._m_orphans = metrics.counter("repair.orphans_deleted")
+
+    def run(self) -> Generator:
+        tracer = self.world.kernel.obs.tracer
+        while True:
+            yield Sleep(self.world.scrub_interval)
+            self._m_rounds.inc()
+            span = tracer.start("repair.scrub")
+            retried = yield from self._retry_pending()
+            healed = orphans = 0
+            for coll_id in sorted(self.world.collections):
+                info = self.world.collections[coll_id]
+                if not self.world.net.node(info.primary).up:
+                    continue
+                server = self.world.servers[info.primary]
+                state = server.collections.get(coll_id)
+                if state is None or not state.is_primary:
+                    continue
+                healed += yield from self._heal_dangling(server, state)
+                orphans += yield from self._verify_removals(server, state)
+            tracer.finish(span, retried=retried, healed=healed, orphans=orphans)
+
+    # -- pass 1: retry pending intents everywhere -------------------------
+    def _retry_pending(self) -> Generator[object, object, int]:
+        retried = 0
+        for node in sorted(self.world.servers):
+            if not self.world.net.node(node).up:
+                continue
+            server = self.world.servers[node]
+            for record in server.wal.pending():
+                done = yield from self.world.recovery.roll_forward(server, record)
+                if done:
+                    retried += 1
+        return retried
+
+    # -- pass 2: dangling members (member listed, home object dead) -------
+    def _heal_dangling(self, server: ObjectServer, state) -> Generator[object, object, int]:
+        names = sorted(state.members)
+        if not names:
+            return 0
+        cursor = self._cursors.get(state.coll_id, 0)
+        window = [names[(cursor + i) % len(names)]
+                  for i in range(min(self.PROBE_BUDGET, len(names)))]
+        self._cursors[state.coll_id] = (cursor + len(window)) % len(names)
+        healed = 0
+        for name in window:
+            element = state.members.get(name)
+            if element is None or name in state.ghosts:
+                continue   # ghost purges are end_iteration's job
+            alive = yield from self._probe(server, element.home, element.oid)
+            if alive is False and state.members.get(name) == element:
+                # The home *answered* and the object is dead: a removal
+                # outran its log (or there was no log).  Complete it by
+                # logging a fresh intent and rolling it forward (not via
+                # _erase_member — the scrub daemon is not a node-tracked
+                # handler, so it must never execute armed crash points).
+                record = server.wal.append("erase", state.coll_id, element,
+                                           origin="scrub")
+                done = yield from self.world.recovery.roll_forward(server, record)
+                if done:
+                    healed += 1
+                    self._m_dangling.inc()
+        return healed
+
+    # -- pass 3: orphaned copies of removed elements ----------------------
+    def _verify_removals(self, server: ObjectServer, state) -> Generator[object, object, int]:
+        orphans = 0
+        for name in sorted(state.unverified_removals):
+            entry = state.removed.get(name)
+            if entry is None:
+                state.unverified_removals.discard(name)
+                continue
+            _, element = entry
+            verified = True
+            for holder in element.locations:
+                alive = yield from self._probe(server, holder, element.oid)
+                if alive is None:
+                    verified = False     # holder unreachable; retry next round
+                elif alive:
+                    deleted = yield from self._delete(server, holder, element.oid)
+                    if deleted:
+                        orphans += 1
+                        self._m_orphans.inc()
+                    else:
+                        verified = False
+            if verified:
+                state.unverified_removals.discard(name)
+        return orphans
+
+    # -- RPC helpers ------------------------------------------------------
+    def _probe(self, server: ObjectServer, holder, oid) -> Generator[object, object, object]:
+        """True/False = holder answered (object live/dead); None = unreachable."""
+        self._m_probes.inc()
+        try:
+            if holder == server.node_id:
+                return server.has_object(oid)
+            if not self.world.net.node(server.node_id).up:
+                return None
+            alive = yield from self.client.call(
+                server.node_id, holder, ObjectServer.SERVICE, "has_object", oid,
+            )
+            return bool(alive)
+        except (FailureException, SimulationError):
+            return None
+
+    def _delete(self, server: ObjectServer, holder, oid) -> Generator[object, object, bool]:
+        try:
+            if holder == server.node_id:
+                yield from server.delete_object(oid)
+                return True
+            if not self.world.net.node(server.node_id).up:
+                return False
+            yield from self.client.call(
+                server.node_id, holder, ObjectServer.SERVICE, "delete_object", oid,
+            )
+            return True
+        except (FailureException, SimulationError):
+            return False

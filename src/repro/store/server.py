@@ -45,13 +45,24 @@ from ..errors import (
 from ..net.address import NodeId
 from ..sim.events import Sleep
 from .elements import Element, ObjectId, StoredObject
+from .wal import IntentLog, IntentRecord
 
 if TYPE_CHECKING:  # pragma: no cover
     from .world import World
 
-__all__ = ["ObjectServer", "CollectionState", "POLICIES"]
+__all__ = ["ObjectServer", "CollectionState", "POLICIES", "erase_step"]
 
 POLICIES = ("any", "grow-only", "grow-during-run", "immutable")
+
+
+def erase_step(element: Element, holder: NodeId) -> str:
+    """The WAL step name for deleting ``element``'s copy at ``holder``.
+
+    The home delete gets the distinguished name ``"home-deleted"`` —
+    it is the step crash-injection cares about most, being the last
+    remote action before the membership pop.
+    """
+    return "home-deleted" if holder == element.home else f"deleted:{holder}"
 
 
 @dataclass
@@ -66,6 +77,14 @@ class CollectionState:
     version: int = 0
     sealed: bool = False
     active_iterations: set[str] = field(default_factory=set)
+    #: per-member version at which each current member was (re)added —
+    #: what anti-entropy diffs against a replica's version.
+    member_versions: dict[str, int] = field(default_factory=dict)
+    #: removal tombstones: name -> (version of the removal, the element),
+    #: shipped to replicas by anti-entropy and scrubbed for orphan copies.
+    removed: dict[str, tuple[int, Element]] = field(default_factory=dict)
+    #: removals whose holders the scrubber has not yet probed for orphans.
+    unverified_removals: set[str] = field(default_factory=set)
 
     def value(self) -> frozenset[Element]:
         """The set's current value (ghosts are still members until purged)."""
@@ -85,6 +104,11 @@ class ObjectServer:
         self.world = world
         self.objects: dict[ObjectId, StoredObject] = {}
         self.collections: dict[str, CollectionState] = {}
+        self.wal = IntentLog(node_id, world)
+
+    def on_recover(self) -> None:
+        """Node recovery hook: hand pending intents to the RecoveryManager."""
+        self.world.recovery.on_node_recover(self)
 
     # ------------------------------------------------------------------
     # data objects
@@ -124,10 +148,15 @@ class ObjectServer:
             existing.size = size
             existing.version += 1
             return existing.version
+        # Re-creating a tombstoned object resumes from the tombstone's
+        # version: version numbers stay monotonic per oid, so a stale
+        # reader can never mistake the reborn object for the old one.
+        version = existing.version + 1 if existing is not None else 1
         self.objects[oid] = StoredObject(
-            oid=oid, value=value, size=size, created_at=self.world.now
+            oid=oid, value=value, size=size, created_at=self.world.now,
+            version=version,
         )
-        return 1
+        return version
 
     def delete_object(self, oid: ObjectId) -> Generator[Any, Any, bool]:
         """Tombstone an object; fetching it afterwards is NoSuchObjectError."""
@@ -159,6 +188,40 @@ class ObjectServer:
     def collection_version(self, coll_id: str) -> int:
         return self._coll(coll_id).version
 
+    def sync_delta(self, coll_id: str, since_version: int) -> Generator[Any, Any, dict]:
+        """Anti-entropy pull: everything that changed after ``since_version``.
+
+        Called over RPC by a replica's syncer process
+        (:class:`~repro.store.antientropy.AntiEntropySyncer`).  The
+        reply carries member additions newer than the replica's version,
+        removal tombstones newer than it, and the (unversioned) ghost
+        and sealed flags — a version diff, not a bulk copy, so sync
+        traffic is proportional to what actually changed.
+        """
+        yield Sleep(self.world.service_time)
+        state = self._primary(coll_id)
+        if since_version > state.version:
+            # The replica claims a future version (it never should — see
+            # invariant 3); resend everything rather than nothing.
+            since_version = 0
+        adds = tuple(
+            (name, element, state.member_versions.get(name, state.version))
+            for name, element in sorted(state.members.items())
+            if state.member_versions.get(name, state.version) > since_version
+        )
+        removes = tuple(
+            (name, version, element)
+            for name, (version, element) in sorted(state.removed.items())
+            if version > since_version
+        )
+        return {
+            "version": state.version,
+            "sealed": state.sealed,
+            "ghosts": tuple(sorted(state.ghosts)),
+            "adds": adds,
+            "removes": removes,
+        }
+
     # ------------------------------------------------------------------
     # collections: mutation (primary only)
     # ------------------------------------------------------------------
@@ -176,6 +239,7 @@ class ObjectServer:
             )
         state.members[element.name] = element
         state.version += 1
+        state.member_versions[element.name] = state.version
         self.world._membership_changed(coll_id)
         return state.version
 
@@ -205,7 +269,8 @@ class ObjectServer:
         yield from self._erase_member(state, element)
         return state.version
 
-    def _erase_member(self, state: CollectionState, element: Element) -> Generator:
+    def _erase_member(self, state: CollectionState, element: Element,
+                      origin: str = "remove") -> Generator:
         # Delete the data objects first (possibly remote calls), replica
         # copies before the home.  Ordering matters for the failover
         # path: a live replica copy must always imply "still a member",
@@ -213,22 +278,75 @@ class ObjectServer:
         # does, and membership is popped only after every delete
         # succeeded.  If any holder is unreachable from the primary, the
         # failure propagates and the membership is left intact.
-        for holder in element.replicas + (element.home,):
-            if holder == self.node_id:
-                yield from self.delete_object(element.oid)
-            else:
-                yield from self.world.net.call(
-                    self.node_id, holder, self.SERVICE, "delete_object", element.oid
-                )
-        state.members.pop(element.name, None)
-        state.ghosts.discard(element.name)
-        state.version += 1
-        self.world._membership_changed(state.coll_id)
+        #
+        # The whole sequence is write-ahead logged: the intent lands
+        # before the first delete, each completed step is marked, and a
+        # crash at any point leaves a pending record recovery can roll
+        # forward.  A clean failure (unreachable holder) aborts the
+        # intent — the client saw the error and membership is untouched,
+        # so there is nothing to recover.
+        record = self.wal.append("erase", state.coll_id, element, origin=origin)
+        # While this handler lives, it owns the intent: the scrub daemon
+        # skips in-flight records, so a half-done erase is never doubly
+        # executed.  A crash kills the handler, whose generator close
+        # runs this ``finally`` — the record reverts to plain pending
+        # and recovery takes over.
+        record.in_flight = True
+        try:
+            yield from self.wal.step(record, "begin")
+            try:
+                for holder in element.replicas + (element.home,):
+                    step = erase_step(element, holder)
+                    if record.done(step):
+                        continue
+                    if holder == self.node_id:
+                        yield from self.delete_object(element.oid)
+                    else:
+                        yield from self.world.net.call(
+                            self.node_id, holder, self.SERVICE, "delete_object",
+                            element.oid
+                        )
+                    yield from self.wal.step(record, step)
+            except FailureException:
+                self.wal.abort(record)
+                raise
+            self._finish_erase(state, element, record)
+        finally:
+            record.in_flight = False
+
+    def _finish_erase(self, state: CollectionState, element: Element,
+                      record: IntentRecord) -> None:
+        """The final, purely local erase step: pop membership, tombstone.
+
+        Idempotent (recovery and scrub may race a resumed handler): the
+        pop happens only if this exact element is still listed, and the
+        intent commits either way.
+        """
+        if state.members.get(element.name) == element:
+            state.members.pop(element.name, None)
+            state.ghosts.discard(element.name)
+            state.member_versions.pop(element.name, None)
+            state.version += 1
+            state.removed[element.name] = (state.version, element)
+            state.unverified_removals.add(element.name)
+            self.wal.mark(record, "membership")
+            self.wal.commit(record)
+            self.world._membership_changed(state.coll_id)
+        else:
+            self.wal.commit(record)
 
     def seal_collection(self, coll_id: str) -> Generator[Any, Any, None]:
         """Freeze an ``immutable`` collection after initial population."""
         yield Sleep(self.world.service_time)
-        self._primary(coll_id).sealed = True
+        state = self._primary(coll_id)
+        record = self.wal.append("seal", coll_id, origin="seal")
+        record.in_flight = True
+        try:
+            yield from self.wal.step(record, "begin")
+            state.sealed = True
+            self.wal.commit(record)
+        finally:
+            record.in_flight = False
 
     # ------------------------------------------------------------------
     # §3.3 iteration registration (ghost protocol)
@@ -249,7 +367,7 @@ class ObjectServer:
                 if element is None:
                     continue
                 try:
-                    yield from self._erase_member(state, element)
+                    yield from self._erase_member(state, element, origin="purge")
                     purged += 1
                 except FailureException:
                     # The ghost's home is unreachable right now; leave it

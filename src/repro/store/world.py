@@ -23,13 +23,15 @@ RPC (:class:`~repro.store.repository.Repository`) like honest clients.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from ..errors import NoSuchCollectionError, SimulationError
 from ..net.address import NodeId
 from ..net.fabric import Network
-from ..sim.events import Sleep
+from ..net.resilience import ResilientClient, RetryPolicy
+from .antientropy import AntiEntropySyncer
 from .elements import Element, fresh_oid
+from .recovery import RecoveryManager, RepairDaemon
 from .server import ObjectServer
 
 __all__ = ["World", "CollectionInfo"]
@@ -54,7 +56,8 @@ class World:
     """Object servers + collections + ground truth over one network."""
 
     def __init__(self, net: Network, *, service_time: float = 0.002,
-                 bandwidth: float = 10_000_000.0, replica_lag: float = 0.5):
+                 bandwidth: float = 10_000_000.0, replica_lag: float = 0.5,
+                 recovery_enabled: bool = True, scrub_interval: float = 2.0):
         """
         Args:
             net: the simulated network to install servers on.
@@ -63,15 +66,31 @@ class World:
             replica_lag: anti-entropy period for collection replicas;
                 bounds how stale a reachable replica can be while the
                 primary is reachable.
+            recovery_enabled: retain write-ahead intents and run the
+                recovery/repair protocol (replay on recover + scrub).
+                ``False`` is the E18 ablation: crashes still interrupt
+                multi-step mutations, but nothing rolls them forward.
+            scrub_interval: period of the background repair daemon.
         """
         self.net = net
         self.kernel = net.kernel
         self.service_time = service_time
         self.bandwidth = bandwidth
         self.replica_lag = replica_lag
+        self.recovery_enabled = recovery_enabled
+        self.scrub_interval = scrub_interval
         self.servers: dict[NodeId, ObjectServer] = {}
         self.collections: dict[str, CollectionInfo] = {}
         self._listeners: list[Callable[[], None]] = []
+        #: shared RPC client for the anti-entropy syncers (its own RNG
+        #: stream so sync backoff never perturbs client-facing draws).
+        self.sync_client = ResilientClient(
+            net,
+            policy=RetryPolicy(max_attempts=2, base_delay=0.05, max_delay=0.25),
+            stream_name="store.sync",
+        )
+        self.recovery = RecoveryManager(self)
+        self.repair: Optional[RepairDaemon] = None
         for node in sorted(net.nodes):
             server = ObjectServer(node, self)
             self.servers[node] = server
@@ -105,10 +124,14 @@ class World:
         info = CollectionInfo(coll_id, primary, replicas, policy)
         info.history.append((self.now, frozenset()))
         self.collections[coll_id] = info
-        if replicas:
+        for node in replicas:
+            syncer = AntiEntropySyncer(self, info, node)
             self.kernel.spawn(
-                self._anti_entropy(info), name=f"sync:{coll_id}", daemon=True
+                syncer.run(), name=f"sync:{coll_id}:{node}", daemon=True
             )
+        if self.recovery_enabled and self.repair is None:
+            self.repair = RepairDaemon(self)
+            self.kernel.spawn(self.repair.run(), name="repair-scrub", daemon=True)
         return info
 
     def seed_member(self, coll_id: str, name: str, value: Any = None,
@@ -135,9 +158,11 @@ class World:
             raise SimulationError(f"{coll_id} already has member {name!r}")
         primary_state.members[name] = element
         primary_state.version += 1
+        primary_state.member_versions[name] = primary_state.version
         for node in info.replicas:
             replica_state = self.servers[node].collections[coll_id]
             replica_state.members[name] = element
+            replica_state.member_versions[name] = primary_state.version
             replica_state.version = primary_state.version
         self._membership_changed(coll_id)
         return element
@@ -216,35 +241,6 @@ class World:
             callback()
 
     # ------------------------------------------------------------------
-    # replication
-    # ------------------------------------------------------------------
-    def _anti_entropy(self, info: CollectionInfo) -> Generator:
-        """Periodically push primary state to every reachable replica.
-
-        Propagation is modelled as a bulk state copy (no per-member
-        message cost): the point is the *lag* and its interaction with
-        partitions, not the wire format.  Replicas cut off from the
-        primary keep serving their last synchronized (stale) state.
-        """
-        while True:
-            yield Sleep(self.replica_lag)
-            primary_node = self.net.node(info.primary)
-            if not primary_node.up:
-                continue
-            primary_state = self.servers[info.primary].collections[info.coll_id]
-            for node in info.replicas:
-                if not self.net.node(node).up:
-                    continue
-                if not self.net.can_reach(info.primary, node):
-                    continue
-                replica_state = self.servers[node].collections[info.coll_id]
-                if replica_state.version != primary_state.version:
-                    replica_state.members = dict(primary_state.members)
-                    replica_state.ghosts = set(primary_state.ghosts)
-                    replica_state.version = primary_state.version
-                replica_state.sealed = primary_state.sealed
-
-    # ------------------------------------------------------------------
     # invariant checking (used by the test suite's soak runs)
     # ------------------------------------------------------------------
     def check_invariants(self) -> list[str]:
@@ -286,6 +282,26 @@ class World:
             if info.history and info.history[-1][1] != primary_state.value():
                 problems.append(
                     f"{coll_id}: membership history is stale")
+            # 5. crash consistency of removals: a tombstoned element has
+            #    no live copy anywhere (no orphans escaped the erase or
+            #    its roll-forward)
+            for name, (_, element) in primary_state.removed.items():
+                for holder in element.locations:
+                    server = self.servers.get(holder)
+                    if server is not None and server.has_object(element.oid):
+                        problems.append(
+                            f"{coll_id}: removed element {element} still has a "
+                            f"live copy on {holder} (orphan)")
+        # 6. no intent is left pending on an up node: at quiescence every
+        #    interrupted mutation must have been rolled forward (by
+        #    recovery or scrub) or cleanly aborted
+        for node, server in sorted(self.servers.items()):
+            if not self.net.node(node).up:
+                continue
+            for record in server.wal.pending():
+                if record.in_flight:
+                    continue   # a replay is actively working on it
+                problems.append(f"{node}: {record} left pending at quiescence")
         return problems
 
     # ------------------------------------------------------------------

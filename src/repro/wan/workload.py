@@ -50,6 +50,8 @@ class ScenarioSpec:
     coll_id: str = "collection"
     fail_fast: bool = True                  # transport-layer failure signals
     rpc_timeout: float = 5.0                # the timeout backstop
+    recovery_enabled: bool = True           # WAL + replay + scrub (E18 ablation)
+    scrub_interval: float = 2.0             # repair daemon period
 
     @property
     def client(self) -> NodeId:
@@ -103,7 +105,9 @@ def build_scenario(spec: ScenarioSpec, seed: int = 0) -> Scenario:
     net = Network(kernel, topo, fail_fast=spec.fail_fast,
                   default_timeout=spec.rpc_timeout)
     world = World(net, service_time=spec.service_time,
-                  replica_lag=spec.replica_lag)
+                  replica_lag=spec.replica_lag,
+                  recovery_enabled=spec.recovery_enabled,
+                  scrub_interval=spec.scrub_interval)
     replica_nodes = [f"n{c}.0" for c in range(1, 1 + spec.replicas)]
     world.create_collection(spec.coll_id, primary=spec.primary,
                             replicas=replica_nodes, policy=spec.policy)

@@ -167,6 +167,117 @@ def test_injector_is_deterministic_per_seed():
     assert run(5) != run(6)
 
 
+def test_injector_targets_nodes_added_after_start():
+    """The victim list is re-read every iteration, so topology growth
+    after ``start()`` is visible to the injector."""
+    kernel = Kernel(seed=11)
+    net = Network(kernel, full_mesh(["a", "b"], FixedLatency(0.01)))
+    plan = FaultPlan(crash_rate=2.0, mean_downtime=0.1,
+                     protected=frozenset({"a"}))
+    injector = FaultInjector(net, plan)
+    injector.start()
+    kernel.run(until=5.0)
+    assert {t for (_, _, t) in injector.injected} == {"b"}
+
+    # grow the cluster mid-run: wire a node the way Network.__init__ does
+    from repro.net.node import Node
+    net.topology.add_node("late")
+    net.topology.add_link("a", "late", FixedLatency(0.01))
+    net.nodes["late"] = Node("late", kernel)
+    net.partitions.register("late")
+
+    kernel.run(until=30.0)
+    targets = {t for (_, _, t) in injector.injected}
+    assert "late" in targets                 # the new node gets hurt too
+    assert "a" not in targets
+    injector.stop()
+    kernel.run(until=60.0)
+    assert all(net.node(n).up for n in net.nodes)
+
+
+def test_injector_arms_wal_crash_points():
+    """wal_crash_rate arms a crash point on a primary's intent log; the
+    next logged erase fires it, and the node auto-recovers."""
+    import sys
+    sys.path.insert(0, "tests")  # reuse the store-world fixture
+    from helpers import CLIENT, PRIMARY, standard_world
+    from repro.errors import FailureException
+    from repro.store import Repository
+
+    kernel, net, world, elements = standard_world(members=4)
+    plan = FaultPlan(wal_crash_rate=1.0, mean_downtime=1.0,
+                     protected=frozenset({CLIENT}))
+    injector = FaultInjector(net, plan)
+    injector._arm_wal_crash(PRIMARY, "home-deleted")   # deterministic arm
+    assert world.server(PRIMARY).wal.armed() == ["home-deleted"]
+    repo = Repository(world, CLIENT)
+
+    def proc():
+        try:
+            yield from repo.remove("coll", elements[0])
+            return "removed"
+        except FailureException:
+            return "crashed"
+
+    assert kernel.run_process(proc()) == "crashed"
+    # by the time the client's timeout fired, the injector's downtime
+    # (1.0s) already elapsed and the node auto-recovered
+    kinds = [(kind, target) for (_, kind, target) in injector.injected]
+    assert ("wal-crash", f"{PRIMARY}@home-deleted") in kinds
+    kernel.run(until=kernel.now + 30.0)
+    assert net.node(PRIMARY).up                       # injector recovered it
+    kernel.run(until=kernel.now + 10.0)               # replay + scrub settle
+    assert world.check_invariants() == []
+    assert elements[0] not in world.true_members("coll")
+
+
+def test_injector_wal_victims_are_store_primaries():
+    import sys
+    sys.path.insert(0, "tests")
+    from helpers import CLIENT, PRIMARY, standard_world
+
+    kernel, net, world, _ = standard_world(members=2, replicas=1)
+    plan = FaultPlan(wal_crash_rate=1.0, protected=frozenset({CLIENT}))
+    injector = FaultInjector(net, plan)
+    victims = injector._wal_victims(injector._victims())
+    assert victims == [PRIMARY]              # replicas and clients excluded
+
+
+def test_injector_seeded_wal_crashes_fire_end_to_end():
+    import sys
+    sys.path.insert(0, "tests")
+    from helpers import CLIENT, standard_world
+    from repro.errors import FailureException
+    from repro.store import Repository
+
+    kernel, net, world, elements = standard_world(members=6, seed=13)
+    plan = FaultPlan(wal_crash_rate=5.0, mean_downtime=0.5,
+                     protected=frozenset({CLIENT}))
+    injector = FaultInjector(net, plan)
+    injector.start()
+    repo = Repository(world, CLIENT)
+
+    def proc():
+        outcomes = []
+        for e in elements:
+            try:
+                yield from repo.remove("coll", e)
+                outcomes.append("ok")
+            except FailureException:
+                outcomes.append("failed")
+            yield Sleep(0.5)
+        return outcomes
+
+    outcomes = kernel.run_process(proc())
+    injector.stop()
+    fired = [entry for entry in injector.injected if entry[1] == "wal-crash"]
+    assert fired                             # at least one crash point fired
+    assert "failed" in outcomes
+    kernel.run(until=kernel.now + 30.0)      # recoveries + scrub settle
+    assert all(net.node(n).up for n in net.nodes)
+    assert world.check_invariants() == []
+
+
 # ---------------------------------------------------------------------------
 # FailureDetector
 # ---------------------------------------------------------------------------

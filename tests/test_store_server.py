@@ -34,6 +34,7 @@ def test_put_after_delete_recreates():
 
     def proc():
         yield from server.put_object("oid-x", "v")
+        yield from server.put_object("oid-x", "v2")      # version 2
         yield from server.delete_object("oid-x")
         redeleted = yield from server.delete_object("oid-x")
         v = yield from server.put_object("oid-x", "reborn")
@@ -42,7 +43,7 @@ def test_put_after_delete_recreates():
 
     redeleted, v, value = kernel.run_process(proc())
     assert redeleted is False          # deleting twice is a no-op
-    assert v == 1                      # fresh object, fresh version
+    assert v == 3                      # resumes past the tombstone's version
     assert value == "reborn"
 
 
@@ -154,6 +155,84 @@ def test_ghost_purge_retries_after_failure():
     assert purged1 == 0
     assert purged2 == 1
     assert victim not in world.true_members("coll")
+
+
+def test_ghost_purge_retries_after_home_crash():
+    """Same retry path as above, but via the NodeCrashFailure branch:
+    the ghost's home is *crashed* (not partitioned) at purge time."""
+    kernel, net, world, _ = standard_world(policy="grow-during-run")
+    victim = world.seed_member("coll", "victim", home="s2")
+    repo = Repository(world, CLIENT)
+
+    def proc():
+        token1 = yield from repo.begin_iteration("coll")
+        yield from repo.remove("coll", victim)           # ghost now
+        net.crash("s2")                                  # purge will fail
+        purged1 = yield from repo.end_iteration("coll", token1)
+        assert victim in world.true_members("coll")      # still pending
+        net.recover("s2")
+        token2 = yield from repo.begin_iteration("coll")
+        purged2 = yield from repo.end_iteration("coll", token2)
+        return purged1, purged2
+
+    purged1, purged2 = kernel.run_process(proc())
+    assert purged1 == 0
+    assert purged2 == 1
+    assert victim not in world.true_members("coll")
+    assert world.check_invariants() == []
+
+
+def test_failed_ghost_purge_aborts_its_intent():
+    """A purge that dies against an unreachable home leaves an aborted
+    WAL intent (not a pending one) and an intact member — deviation #3
+    semantics, now with bookkeeping."""
+    kernel, net, world, _ = standard_world(policy="grow-during-run")
+    victim = world.seed_member("coll", "victim", home="s2")
+    repo = Repository(world, CLIENT)
+    server = world.server(PRIMARY)
+
+    def proc():
+        token = yield from repo.begin_iteration("coll")
+        yield from repo.remove("coll", victim)
+        net.isolate("s2")
+        purged = yield from repo.end_iteration("coll", token)
+        return purged
+
+    assert kernel.run_process(proc()) == 0
+    aborted = [r for r in server.wal.records if r.origin == "purge"]
+    assert len(aborted) == 1
+    from repro.store.wal import ABORTED
+    assert aborted[0].status is ABORTED
+    assert server.wal.pending() == []                    # clean failure, not a crash
+    assert kernel.obs.metrics.value("wal.aborts") >= 1
+    net.rejoin("s2")
+    assert world.check_invariants() == []
+
+
+def test_partial_ghost_purge_completes_later():
+    """A purge that deleted an object replica but could not reach the
+    home aborts whole; the next end_iteration finishes the job
+    idempotently (re-deleting the already-dead replica is a no-op)."""
+    kernel, net, world, _ = standard_world(policy="grow-during-run")
+    victim = world.seed_member("coll", "victim", home="s2", replicas=("s3",))
+    repo = Repository(world, CLIENT)
+
+    def proc():
+        token1 = yield from repo.begin_iteration("coll")
+        yield from repo.remove("coll", victim)
+        net.isolate("s2")                                # replica s3 still up
+        purged1 = yield from repo.end_iteration("coll", token1)
+        replica_dead = not world.server("s3").has_object(victim.oid)
+        net.rejoin("s2")
+        token2 = yield from repo.begin_iteration("coll")
+        purged2 = yield from repo.end_iteration("coll", token2)
+        return purged1, replica_dead, purged2
+
+    purged1, replica_dead, purged2 = kernel.run_process(proc())
+    assert purged1 == 0
+    assert replica_dead                                  # partial progress happened
+    assert victim not in world.true_members("coll") and purged2 == 1
+    assert world.check_invariants() == []
 
 
 def test_crash_preserves_objects_and_membership():
