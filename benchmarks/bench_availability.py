@@ -57,8 +57,11 @@ def test_e4a_ablations(benchmark):
     assert quorum["success_rate"] >= primary["success_rate"]
     assert quorum["mean_latency_ok"] > primary["mean_latency_ok"]
 
-    # timeout-only discovery is slower per run...
-    assert slow5["mean_latency_ok"] > primary["mean_latency_ok"]
+    # timeout-only discovery is never faster per run (the batched fetch
+    # pipeline drains fig5 so quickly that successful runs are usually
+    # fault-free, making both discovery modes identical there; fig6's
+    # blocking retries still expose the strict gap below)...
+    assert slow5["mean_latency_ok"] >= primary["mean_latency_ok"]
     assert opt_slow["mean_latency_ok"] > opt_fast["mean_latency_ok"]
     # ...and never *hurts* success (slow pessimism waits failures out)
     assert slow5["success_rate"] >= primary["success_rate"]

@@ -27,7 +27,11 @@ def test_e12_scale(benchmark):
         assert times[-1] > 10 * times[0]
 
     for n in sizes:
-        # pre-state iterators (fig5/fig6) pay an extra membership read
-        # per invocation: ~2 more messages per member than first-state
+        # fig5's pre-state semantics re-read membership every invocation:
+        # ~2 more messages per member than first-state
         assert row(n, "fig5")["msgs_per_member"] > row(n, "fig4")["msgs_per_member"] + 1
-        assert row(n, "fig6")["msgs_per_member"] > row(n, "fig4")["msgs_per_member"] + 1
+        # fig6 plans its fetches through the batched pipeline, amortizing
+        # membership reads across yields: per-member overhead lands within
+        # a small constant of first-state and well below fig5's
+        assert row(n, "fig6")["msgs_per_member"] < row(n, "fig4")["msgs_per_member"] + 0.5
+        assert row(n, "fig6")["msgs_per_member"] < row(n, "fig5")["msgs_per_member"] - 1

@@ -22,13 +22,13 @@ def test_e13_system_under_load(benchmark):
     # dearly under strong (serialized behind every read-locked query)
     assert dynamic["publish_mean"] * 50 < strong["publish_mean"]
 
-    # the honest counterpoint: for a full drain with no failures, the
-    # dynamic iterator's per-invocation freshness (re-reading membership
-    # every element) costs real time — strong total latency is lower.
-    # Dynamic's wins are time-to-first (E2), early exit (E2a),
-    # availability (E4), and publish non-interference (here).
-    assert strong["query_mean"] < dynamic["query_mean"]
-    assert dynamic["query_mean"] < 4 * strong["query_mean"]
+    # the batched fetch pipeline erased the old counterpoint: dynamic
+    # used to pay a membership re-read per element, which made strong's
+    # full-drain latency lower despite its lock waits.  With fetches
+    # planned and coalesced, dynamic now wins the full drain too — while
+    # strong still queues behind the publisher's write lock.
+    assert dynamic["query_mean"] < strong["query_mean"]
+    assert strong["query_mean"] < 8 * dynamic["query_mean"]
 
     # writer priority does not lose publishes and keeps them no slower
     assert prio["publishes_ok"] == 6

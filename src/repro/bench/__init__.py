@@ -1,4 +1,4 @@
-"""The evaluation harness: experiments E1–E18 (see DESIGN.md §5).
+"""The evaluation harness: experiments E1–E19 (see DESIGN.md §5).
 
 Each ``run_*`` function builds its worlds, runs the simulation, and
 returns an :class:`~repro.bench.report.ExperimentResult` whose ``str()``
@@ -12,6 +12,7 @@ from .exp_federation import run_federation
 from .exp_consistency import run_cache_ablation, run_staleness
 from .exp_convergence import run_convergence
 from .exp_detector import run_detector
+from .exp_fetchpipe import run_fetchpipe
 from .exp_ghosts import run_ghosts
 from .exp_latency import (
     build_scattered_fs,
@@ -48,6 +49,7 @@ __all__ = [
     "run_disconnection",
     "run_federation",
     "run_early_exit",
+    "run_fetchpipe",
     "run_ghosts",
     "run_lock_cost",
     "run_motivating",
@@ -87,4 +89,5 @@ ALL_EXPERIMENTS = {
     "E16": run_resilience,
     "E17": run_obs,
     "E18": run_recovery,
+    "E19": run_fetchpipe,
 }

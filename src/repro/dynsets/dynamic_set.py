@@ -35,7 +35,8 @@ class DynSetHandle:
                  parallelism: int = 4, retry_interval: float = 0.5,
                  give_up_after: Optional[float] = None,
                  closest_first: bool = True,
-                 membership_source: str = "nearest"):
+                 membership_source: str = "nearest",
+                 batch_size: int = 1, use_cache: bool = False):
         self.repo = repo
         self.coll_id = coll_id
         self.parallelism = parallelism
@@ -43,6 +44,11 @@ class DynSetHandle:
         self.give_up_after = give_up_after
         self.closest_first = closest_first
         self.membership_source = membership_source
+        # Explicit cache/batch policy, threaded through to the shared
+        # fetch pipeline (batch_size=1 = one RPC per element, the
+        # historical behaviour; use_cache is never a default's accident).
+        self.batch_size = batch_size
+        self.use_cache = use_cache
         self.engine: Optional[PrefetchEngine] = None
         self.opened_at: Optional[float] = None
         self.first_result_at: Optional[float] = None
@@ -64,6 +70,8 @@ class DynSetHandle:
             retry_interval=self.retry_interval,
             give_up_after=self.give_up_after,
             closest_first=self.closest_first,
+            batch_size=self.batch_size,
+            use_cache=self.use_cache,
         )
         self.engine.start()
         return self

@@ -50,7 +50,7 @@ def stat(fs: FileSystem, client: NodeId, path: str) -> Generator[Any, Any, StatR
     element = fs.entry(path)
     repo = Repository(fs.world, client)
     try:
-        meta = yield from repo.fetch(element)
+        meta = yield from repo.fetch(element, use_cache=False)
     except NoSuchObjectError:
         raise NoSuchPathError(path) from None
     if not isinstance(meta, FileMeta):
@@ -65,7 +65,7 @@ def read_file(fs: FileSystem, client: NodeId, path: str) -> Generator[Any, Any, 
     element = fs.entry(path)
     repo = Repository(fs.world, client)
     try:
-        meta = yield from repo.fetch(element)
+        meta = yield from repo.fetch(element, use_cache=False)
     except NoSuchObjectError:
         raise NoSuchPathError(path) from None
     if not isinstance(meta, FileMeta) or meta.is_dir:

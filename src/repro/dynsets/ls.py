@@ -74,7 +74,7 @@ def strict_ls(fs: FileSystem, client: NodeId, path: str,
         )
         for element in sorted(view.members, key=lambda e: e.name):
             try:
-                meta = yield from repo.fetch(element)
+                meta = yield from repo.fetch(element, use_cache=False)
             except NoSuchObjectError:
                 continue  # removed while we were listing; omit
             kind = getattr(meta, "kind", "file")

@@ -1,28 +1,33 @@
-"""The parallel prefetch engine.
+"""The parallel prefetch engine (now an adapter over the shared pipeline).
 
 This is where dynamic sets earn their keep: "(2) we can implement such
 file system commands more efficiently by fetching files in parallel,
 fetching 'closer' files first, and fetching all accessible files
 despite network failures."
 
-The engine runs ``parallelism`` worker processes.  Work is ordered
-closest-first (expected latency to each element's home); fetches that
-fail with a transport failure are retried optimistically after
-``retry_interval`` (until ``give_up_after``, if set); elements whose
-objects are gone are reported as skipped.  Results stream into a buffer
-the consumer pops in arrival order — so the first yield happens after
-roughly *one* fetch, not after all of them.
+The bespoke worker pool this module used to carry now lives in
+:class:`repro.store.fetchplan.FetchPipeline` — the same engine every
+``elements`` iterator drains through.  :class:`PrefetchEngine` keeps
+its historical surface (``start``/``stop``/``next_result``, the
+``fetched``/``skipped``/``gave_up``/``retries`` counters) and maps it
+onto a pipeline in *engine mode*: failures retry internally on a timer
+(until ``give_up_after``, if set) and the consumer only ever sees final
+results, in arrival order — so the first yield happens after roughly
+*one* fetch, not after all of them.
+
+``batch_size`` is new: same-home elements coalesce into one
+``get_objects`` multi-get.  The default of 1 reproduces the historical
+one-RPC-per-element engine exactly; ``parallelism`` still bounds how
+many fetches are in flight at once.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
-from ..errors import FailureException, NoSuchObjectError
-from ..sim.events import Signal, Sleep, Wait
 from ..store.elements import Element
+from ..store.fetchplan import FetchPipeline
 from ..store.repository import Repository
 
 __all__ = ["PrefetchResult", "PrefetchEngine"]
@@ -50,7 +55,8 @@ class PrefetchEngine:
                  parallelism: int = 4, retry_interval: float = 0.5,
                  give_up_after: Optional[float] = None,
                  closest_first: bool = True,
-                 priority=None):
+                 priority=None, batch_size: int = 1,
+                 use_cache: bool = False):
         """
         Args:
             priority: optional application hint — a key function on
@@ -58,115 +64,64 @@ class PrefetchEngine:
                 dynamic sets let applications hint the prefetcher; e.g.
                 ``priority=lambda e: sizes[e.oid]`` fetches small files
                 first).  ``closest_first`` is ignored when given.
+            batch_size: how many same-home elements may share one
+                batched ``get_objects`` RPC (1 = historical behaviour).
+            use_cache: consult/admit the repository's client cache —
+                explicit, so cache policy is never a default's accident.
         """
         self.repo = repo
         self.parallelism = max(1, parallelism)
         self.retry_interval = retry_interval
         self.give_up_after = give_up_after
-        if priority is not None:
-            ordered = sorted(elements, key=lambda e: (priority(e), e.name))
-        elif closest_first:
-            ordered = self._order(elements)
-        else:
-            ordered = list(elements)
-        self._todo: deque[Element] = deque(ordered)
-        self._retry: deque[tuple[float, Element]] = deque()
-        self._first_failure: dict[str, float] = {}
-        self._buffer: deque[PrefetchResult] = deque()
-        self._waiters: list[Signal] = []
-        self._outstanding = len(ordered)
-        self._procs: list = []
-        self.fetched = 0
-        self.skipped = 0
-        self.gave_up = 0
-        self.retries = 0
+        self._pipe = FetchPipeline(
+            repo, use_cache=use_cache,
+            window=self.parallelism, batch_size=batch_size,
+            validation="none", in_order=False,
+            closest_first=closest_first, priority=priority,
+            retry_interval=retry_interval, give_up_after=give_up_after,
+            name=f"prefetch-{repo.client}")
+        self._pipe.submit(elements)
+        self._pipe.seal()          # fixed work-list: workers exit when done
 
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Spawn the worker processes (daemons; stop with :meth:`stop`)."""
-        kernel = self.repo.world.kernel
-        for i in range(self.parallelism):
-            proc = kernel.spawn(
-                self._worker(), name=f"prefetch-{self.repo.client}-{i}", daemon=True
-            )
-            self._procs.append(proc)
+        self._pipe.start()
 
     def stop(self) -> None:
-        for proc in self._procs:
-            proc._kill()
-        self._procs.clear()
+        self._pipe.stop()
 
     @property
     def exhausted(self) -> bool:
-        return self._outstanding == 0 and not self._buffer
+        return self._pipe.exhausted
+
+    @property
+    def fetched(self) -> int:
+        return self._pipe.fetched
+
+    @property
+    def skipped(self) -> int:
+        return self._pipe.gone
+
+    @property
+    def gave_up(self) -> int:
+        return self._pipe.gave_up
+
+    @property
+    def retries(self) -> int:
+        return self._pipe.retries
 
     def next_result(self) -> Generator[Any, Any, Optional[PrefetchResult]]:
         """Pop the next arrival; None when every element is accounted for."""
-        while True:
-            if self._buffer:
-                return self._buffer.popleft()
-            if self._outstanding == 0:
-                return None
-            signal = Signal(name="prefetch-ready")
-            self._waiters.append(signal)
-            yield Wait(signal)
-
-    # ------------------------------------------------------------------
-    def _order(self, elements: list[Element]) -> list[Element]:
-        net = self.repo.net
-        client = self.repo.client
-
-        def key(e: Element) -> tuple[float, str]:
-            latency = net.expected_latency(client, e.home)
-            return (latency if latency is not None else float("inf"), e.name)
-
-        return sorted(elements, key=key)
-
-    def _worker(self) -> Generator:
-        while self._outstanding > 0:
-            element = self._take()
-            if element is None:
-                if self._outstanding == 0:
-                    return
-                yield Sleep(self.retry_interval / 2)
-                continue
-            try:
-                value = yield from self.repo.fetch(element)
-                self.fetched += 1
-                self._emit(PrefetchResult(
-                    element, value=value, fetched_at=self.repo.world.now))
-            except NoSuchObjectError:
-                self.skipped += 1
-                self._emit(PrefetchResult(element, skipped=True,
-                                          fetched_at=self.repo.world.now))
-            except FailureException:
-                now = self.repo.world.now
-                first = self._first_failure.setdefault(element.oid, now)
-                if (self.give_up_after is not None
-                        and now - first >= self.give_up_after):
-                    self.gave_up += 1
-                    self._emit(PrefetchResult(element, gave_up=True,
-                                              fetched_at=now))
-                else:
-                    self.retries += 1
-                    self._retry.append((now + self.retry_interval, element))
-
-    def _take(self) -> Optional[Element]:
-        if self._todo:
-            return self._todo.popleft()
-        if self._retry and self._retry[0][0] <= self.repo.world.now:
-            return self._retry.popleft()[1]
-        return None
-
-    def _emit(self, result: PrefetchResult) -> None:
-        self._outstanding -= 1
-        self._buffer.append(result)
-        waiters, self._waiters = self._waiters, []
-        for signal in waiters:
-            if not signal.fired:
-                signal.fire(None)
+        result = yield from self._pipe.next_result()
+        if result is None:
+            return None
+        return PrefetchResult(
+            element=result.element, value=result.value,
+            skipped=result.gone, gave_up=result.unreachable,
+            fetched_at=result.fetched_at)
 
     def __repr__(self) -> str:
-        return (f"PrefetchEngine(outstanding={self._outstanding}, "
+        return (f"PrefetchEngine(outstanding={len(self._pipe._live)}, "
                 f"fetched={self.fetched}, skipped={self.skipped}, "
                 f"gave_up={self.gave_up}, retries={self.retries})")

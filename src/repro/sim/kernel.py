@@ -71,6 +71,14 @@ class Kernel:
     def now(self) -> float:
         return self.clock.now
 
+    @property
+    def current_process(self) -> Optional["Process"]:
+        """The process whose generator is being stepped right now (the
+        tracer's span-parentage context), or ``None`` between steps.
+        Lets code that spawns workers directly — rather than via the
+        ``Fork`` effect — adopt the creator's span context."""
+        return self._running
+
     def stream(self, name: str) -> Stream:
         """Named deterministic random stream (see :mod:`repro.sim.rng`)."""
         return self.random.stream(name)

@@ -10,6 +10,13 @@ lazily synchronized replicas, client caches, and the ground-truth
 from .antientropy import AntiEntropySyncer, apply_delta
 from .cache import ClientCache
 from .elements import Element, ObjectId, StoredObject, fresh_oid
+from .fetchplan import (
+    FetchPipeline,
+    FetchPlanner,
+    FetchResult,
+    order_closest_first,
+    rank_hosts,
+)
 from .reachability import Figure2, figure2_world
 from .recovery import RecoveryManager, RepairDaemon
 from .repository import MembershipView, Repository
@@ -23,6 +30,9 @@ __all__ = [
     "CollectionInfo",
     "CollectionState",
     "Element",
+    "FetchPipeline",
+    "FetchPlanner",
+    "FetchResult",
     "Figure2",
     "IntentLog",
     "IntentRecord",
@@ -39,4 +49,6 @@ __all__ = [
     "erase_step",
     "figure2_world",
     "fresh_oid",
+    "order_closest_first",
+    "rank_hosts",
 ]

@@ -17,6 +17,7 @@ from ..net.address import NodeId
 from ..net.resilience import TRANSPORT_FAILURES, ResilientClient
 from .cache import ClientCache
 from .elements import Element, fresh_oid
+from .fetchplan import rank_hosts
 from .server import ObjectServer
 from .world import World
 
@@ -83,12 +84,9 @@ class Repository:
         return self._rank(self.hosts_of(coll_id))
 
     def _rank(self, hosts) -> tuple[NodeId, ...]:
-        with_latency = []
-        for host in hosts:
-            latency = self.net.expected_latency(self.client, host)
-            if latency is not None:
-                with_latency.append((latency, host))
-        return tuple(host for _, host in sorted(with_latency))
+        # Shared with the FetchPlanner and the failover sweep: one
+        # ranking policy for every host-selection decision.
+        return rank_hosts(self.net, self.client, hosts)
 
     # ------------------------------------------------------------------
     # reads
@@ -146,6 +144,11 @@ class Repository:
     def fetch(self, element: Element, *, use_cache: bool = False,
               failover: bool = False) -> Generator[Any, Any, Any]:
         """Fetch an element's data object, preferring its home node.
+
+        Single-element point lookup.  Bulk reads (iterators, prefetch)
+        go through :class:`~repro.store.fetchplan.FetchPipeline`, where
+        cache policy is a *required* argument; here the default is
+        cache-off and callers that care pass ``use_cache`` explicitly.
 
         Raises a :class:`FailureException` if the home is unreachable and
         :class:`~repro.errors.NoSuchObjectError` if the object has been

@@ -32,7 +32,7 @@ model file servers, not RAM caches).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Generator
+from typing import TYPE_CHECKING, Any, Generator, Sequence
 
 from ..errors import (
     FailureException,
@@ -139,6 +139,52 @@ class ObjectServer:
                 f"no live replica copy of {oid} on {self.node_id}"
             )
         return obj.value
+
+    def get_objects(
+        self, oids: Sequence[ObjectId]
+    ) -> Generator[Any, Any, tuple[tuple[str, Any], ...]]:
+        """Batched multi-get: one service-time charge plus the summed
+        transfer times for the whole batch, then a per-oid outcome.
+
+        Unlike :meth:`get_object`, a missing object does not fail the
+        call — the batch answers ``("ok", value)`` or ``("gone", None)``
+        per oid, so one removed element cannot poison its batchmates.
+        All outcomes are evaluated at the same serve instant, which is
+        what lets a client treat the whole reply as one membership
+        sample.
+        """
+        if not oids:
+            return ()
+        yield Sleep(self.world.service_time
+                    + sum(self._transfer_time(oid) for oid in oids))
+        outcomes = []
+        for oid in oids:
+            obj = self.objects.get(oid)
+            if obj is None or obj.deleted:
+                outcomes.append(("gone", None))
+            else:
+                outcomes.append(("ok", obj.value))
+        return tuple(outcomes)
+
+    def get_objects_replica(
+        self, oids: Sequence[ObjectId]
+    ) -> Generator[Any, Any, tuple[tuple[str, Any], ...]]:
+        """Batched replica multi-get: ``("ok", value)`` or ``("miss",
+        None)`` per oid.  As with :meth:`get_object_replica`, a missing
+        copy is never authoritative about removal — "miss" only means
+        "no usable copy here, try elsewhere"."""
+        if not oids:
+            return ()
+        yield Sleep(self.world.service_time
+                    + sum(self._transfer_time(oid) for oid in oids))
+        outcomes = []
+        for oid in oids:
+            obj = self.objects.get(oid)
+            if obj is None or obj.deleted:
+                outcomes.append(("miss", None))
+            else:
+                outcomes.append(("ok", obj.value))
+        return tuple(outcomes)
 
     def put_object(self, oid: ObjectId, value: Any, size: int = 0) -> Generator[Any, Any, int]:
         yield Sleep(self.world.service_time)

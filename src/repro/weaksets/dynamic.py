@@ -65,42 +65,62 @@ class DynamicIterator(ElementsIterator):
         #: can only restore visibility of live members, never resurrect
         #: removed ones (only the home answers "removed" authoritatively).
         self.failover = failover
+        # Instance attr shadowing the class default: the pipeline's
+        # failover policy is this iterator's failover policy.
+        self.pipeline_failover = failover
         self.retries = 0          # cumulative blocked retries (observability)
+        # Members learned to be removed (tombstoned at their home).
+        # Removed oids never resurrect (a re-add mints a fresh oid), so
+        # this memory is safe across invocations.
+        self.stale_entries: set[Element] = set()
 
     def _step(self) -> Generator[Any, Any, Outcome]:
+        if not self.fetch_values:
+            return (yield from self._step_probe_only())
         blocked_since: Optional[float] = None
         forced_view: Optional[frozenset[Element]] = None
-        stale_entries: set[Element] = set()
+        pipe = self._ensure_pipeline(use_cache=self.use_cache)
         while True:
-            if forced_view is not None:
-                view_members, forced_view = forced_view, None
-            else:
-                view_members = yield from self._best_view()
-            remaining = view_members - self.yielded - stale_entries
-            saw_unreachable = False
-            for element in self.closest_first(remaining):
-                try:
-                    if self.fetch_values:
-                        value = yield from self.repo.fetch(
-                            element, use_cache=self.use_cache,
-                            failover=self.failover)
-                    else:
-                        exists = yield from self.repo.probe(element)
-                        if not exists:
-                            raise NoSuchObjectError(element.oid)
-                        value = None
-                    return Yielded(element, value)
-                except NoSuchObjectError:
-                    # Tombstoned at its home: the member was removed and
-                    # our view is stale.  Skip — do not yield, do not block.
-                    stale_entries.add(element)
-                except FailureException:
-                    saw_unreachable = True
-            if not saw_unreachable:
+            if not pipe.pending:
+                # The pipeline has drained: (re)plan from a fresh view.
+                # While it still holds undelivered work we keep consuming
+                # instead — no membership re-read per yield.
+                if forced_view is not None:
+                    view_members, forced_view = forced_view, None
+                else:
+                    try:
+                        view_members = yield from self._best_view()
+                    except FailureException:
+                        # No membership host reachable: blocked at the
+                        # view layer.  Optimism waits here too, on the
+                        # same give_up_after budget as blocked fetches.
+                        now = self.repo.world.now
+                        if blocked_since is None:
+                            blocked_since = now
+                        if (self.give_up_after is not None
+                                and now - blocked_since >= self.give_up_after):
+                            return Failed(
+                                f"gave up after blocking {self.give_up_after}s "
+                                "(give_up_after escape hatch; Figure 6 proper "
+                                "never fails)"
+                            )
+                        self.retries += 1
+                        yield Sleep(self.retry_interval)
+                        continue
+                pipe.submit(view_members - self.yielded - self.stale_entries)
+            result, unreachable = yield from self._next_from_pipeline()
+            if result is not None:
+                if result.ok:
+                    return Yielded(result.element, result.value)
+                # Tombstoned at its home: the member was removed and
+                # our view is stale.  Skip — do not yield, do not block.
+                self.stale_entries.add(result.element)
+                continue
+            if not unreachable:
                 # Nothing unreachable: every remaining entry (if any) was
                 # stale.  Confirm emptiness against the primary before
                 # returning, in case this view missed recent additions.
-                fresh_remaining = yield from self._fresh_remaining(stale_entries)
+                fresh_remaining = yield from self._fresh_remaining(self.stale_entries)
                 if not fresh_remaining:
                     return Returned()
                 # The primary knows members our view missed: iterate over
@@ -108,6 +128,65 @@ class DynamicIterator(ElementsIterator):
                 forced_view = fresh_remaining
                 continue
             # Optimistic blocking: members exist but cannot be reached.
+            # Sleeping with the pipeline empty means the next lap re-reads
+            # a view and resubmits the blocked members — a fresh attempt.
+            now = self.repo.world.now
+            if blocked_since is None:
+                blocked_since = now
+            if (self.give_up_after is not None
+                    and now - blocked_since >= self.give_up_after):
+                return Failed(
+                    f"gave up after blocking {self.give_up_after}s "
+                    "(give_up_after escape hatch; Figure 6 proper never fails)"
+                )
+            self.retries += 1
+            yield Sleep(self.retry_interval)
+
+    def _step_probe_only(self) -> Generator[Any, Any, Outcome]:
+        """Membership-only iteration (``fetch_values=False``): validate
+        candidates by probing their home instead of fetching values."""
+        blocked_since: Optional[float] = None
+        forced_view: Optional[frozenset[Element]] = None
+        while True:
+            if forced_view is not None:
+                view_members, forced_view = forced_view, None
+            else:
+                try:
+                    view_members = yield from self._best_view()
+                except FailureException:
+                    # Blocked at the view layer: wait it out on the same
+                    # give_up_after budget as blocked probes below.
+                    now = self.repo.world.now
+                    if blocked_since is None:
+                        blocked_since = now
+                    if (self.give_up_after is not None
+                            and now - blocked_since >= self.give_up_after):
+                        return Failed(
+                            f"gave up after blocking {self.give_up_after}s "
+                            "(give_up_after escape hatch; Figure 6 proper "
+                            "never fails)"
+                        )
+                    self.retries += 1
+                    yield Sleep(self.retry_interval)
+                    continue
+            remaining = view_members - self.yielded - self.stale_entries
+            saw_unreachable = False
+            for element in self.closest_first(remaining):
+                try:
+                    exists = yield from self.repo.probe(element)
+                    if not exists:
+                        raise NoSuchObjectError(element.oid)
+                    return Yielded(element, None)
+                except NoSuchObjectError:
+                    self.stale_entries.add(element)
+                except FailureException:
+                    saw_unreachable = True
+            if not saw_unreachable:
+                fresh_remaining = yield from self._fresh_remaining(self.stale_entries)
+                if not fresh_remaining:
+                    return Returned()
+                forced_view = fresh_remaining
+                continue
             now = self.repo.world.now
             if blocked_since is None:
                 blocked_since = now

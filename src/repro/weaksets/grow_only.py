@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from ..errors import FailureException, NoSuchObjectError
+from ..errors import FailureException
 from ..spec.termination import Failed, Outcome, Returned, Yielded
 from .base import WeakSet
 from .iterator import ElementsIterator
@@ -40,37 +40,54 @@ __all__ = ["GrowOnlyIterator", "GrowOnlySet", "PerRunGrowOnlyIterator",
 
 
 class GrowOnlyIterator(ElementsIterator):
-    """Pre-state iterator, pessimistic on failure."""
+    """Pre-state iterator, pessimistic on failure.
+
+    Values drain through the shared :class:`FetchPipeline`
+    (``validation="probe"``).  A ``gone`` result here can only be a
+    half-removed zombie (crash mid-remove) or a ghost: still a member,
+    home answering — so its descriptor is yielded with ``value=None``.
+    """
 
     impl_name = "grow-only"
+    pipeline_validation = "probe"
 
     def __init__(self, *args: Any, fetch_values: bool = True, **kwargs: Any):
         super().__init__(*args, **kwargs)
         self.fetch_values = fetch_values
 
-    def _step(self) -> Generator[Any, Any, Outcome]:
+    def _read_view(self) -> Generator[Any, Any, frozenset]:
         # s_pre: the authoritative current membership.  An unreachable
         # primary is itself a failure (pessimism all the way down).
         view = yield from self.repo.read_membership(self.coll_id, source="primary")
-        remaining = view.members - self.yielded
+        return view.members
+
+    def _step(self) -> Generator[Any, Any, Outcome]:
+        members = yield from self._read_view()
+        remaining = members - self.yielded
         if not remaining:
             return Returned()
-        for element in self.closest_first(remaining):
-            if not self.fetch_values:
-                return Yielded(element, None)
-            try:
-                value = yield from self.repo.fetch(element)
-                return Yielded(element, value)
-            except NoSuchObjectError:
-                # A member whose object is gone can only be a half-removed
-                # zombie (crash mid-remove); it is still a member, and its
-                # home answered, so yield its descriptor.
-                return Yielded(element, None)
-            except FailureException:
+        if not self.fetch_values:
+            return Yielded(self.closest_first(remaining)[0], None)
+        pipe = self._ensure_pipeline()
+        # Pre-state semantics: every invocation submits the *current*
+        # remainder, so members added mid-run join the pipeline here
+        # (already-pending elements are deduplicated; previously failed
+        # ones are accepted again — a fresh per-invocation attempt).
+        pipe.submit(remaining)
+        retried = False
+        while True:
+            result, unreachable = yield from self._next_from_pipeline()
+            if result is not None:
+                if result.ok:
+                    return Yielded(result.element, result.value)
+                return Yielded(result.element, None)
+            if unreachable and not retried:
+                retried = True
+                pipe.submit(unreachable)
                 continue
-        return Failed(
-            f"{len(remaining)} member(s) known but unreachable (pessimistic)"
-        )
+            return Failed(
+                f"{len(remaining)} member(s) known but unreachable (pessimistic)"
+            )
 
 
 class GrowOnlySet(WeakSet):

@@ -32,6 +32,7 @@ from ..net.address import NodeId
 from ..spec.termination import Failed, Outcome, Yielded
 from ..spec.trace import TraceRecorder
 from ..store.elements import Element
+from ..store.fetchplan import FetchPipeline, FetchResult, order_closest_first
 from ..store.repository import Repository
 
 __all__ = ["ElementsIterator", "DrainResult"]
@@ -82,8 +83,16 @@ class ElementsIterator:
 
     impl_name = "elements"
 
+    #: Pop-time validation the variant's pipeline uses (see
+    #: :mod:`repro.store.fetchplan`); subclasses override.
+    pipeline_validation = "probe"
+    #: Whether the variant's pipeline falls back to replica copies on
+    #: transport failure at the home.
+    pipeline_failover = False
+
     def __init__(self, repo: Repository, coll_id: str,
-                 recorder: Optional[TraceRecorder] = None):
+                 recorder: Optional[TraceRecorder] = None,
+                 fetch_window: int = 8, fetch_batch: int = 4):
         self.repo = repo
         self.coll_id = coll_id
         self.client: NodeId = repo.client
@@ -91,6 +100,12 @@ class ElementsIterator:
         self.yielded: frozenset[Element] = frozenset()
         self.terminated = False
         self.last_outcome: Optional[Outcome] = None
+        # Shared fetch engine: every variant drains element values
+        # through one batched, pipelined FetchPipeline (window=1,
+        # batch=1 reproduces the old serial path exactly).
+        self.fetch_window = fetch_window
+        self.fetch_batch = fetch_batch
+        self.pipeline: Optional[FetchPipeline] = None
 
     # ------------------------------------------------------------------
     def invoke(self) -> Generator[Any, Any, Outcome]:
@@ -115,6 +130,7 @@ class ElementsIterator:
             self.yielded = self.yielded | {outcome.element}
         else:
             self.terminated = True
+            self._stop_pipeline()
         self.last_outcome = outcome
         if self.recorder is not None:
             self.recorder.invocation_completed(outcome)
@@ -178,6 +194,7 @@ class ElementsIterator:
         if self.recorder is not None:
             self.recorder.abort()
         self.terminated = True
+        self._stop_pipeline()
 
     # ------------------------------------------------------------------
     def _step(self) -> Generator[Any, Any, Outcome]:
@@ -191,13 +208,43 @@ class ElementsIterator:
         This is the paper's "fetching 'closer' files first"; unreachable
         homes sort last (infinite estimated latency).
         """
-        net = self.repo.net
+        return order_closest_first(self.repo.net, self.client, elements)
 
-        def key(e: Element) -> tuple[float, str]:
-            latency = net.expected_latency(self.client, e.home)
-            return (latency if latency is not None else float("inf"), e.name)
+    def _ensure_pipeline(self, *, use_cache: bool = False) -> FetchPipeline:
+        """The variant's shared fetch engine, created lazily per run."""
+        if self.pipeline is None:
+            self.pipeline = FetchPipeline(
+                self.repo, use_cache=use_cache,
+                window=self.fetch_window, batch_size=self.fetch_batch,
+                failover=self.pipeline_failover,
+                validation=self.pipeline_validation,
+                name=f"{self.impl_name}-{self.coll_id}")
+            self.pipeline.start()
+        return self.pipeline
 
-        return sorted(elements, key=key)
+    def _stop_pipeline(self) -> None:
+        if self.pipeline is not None:
+            self.pipeline.stop()
+
+    def _next_from_pipeline(
+        self,
+    ) -> Generator[Any, Any, tuple[Optional[FetchResult], list[Element]]]:
+        """Pop pipeline results until something deliverable appears.
+
+        Returns ``(result, unreachable)``: ``result`` is the first ok or
+        gone result (``None`` once the pipeline is drained), while
+        ``unreachable`` accumulates elements skipped past on the way —
+        the caller's retry policy decides what to do with those.
+        """
+        unreachable: list[Element] = []
+        while True:
+            result = yield from self.pipeline.next_result()
+            if result is None:
+                return None, unreachable
+            if result.unreachable:
+                unreachable.append(result.element)
+                continue
+            return result, unreachable
 
     def __repr__(self) -> str:
         state = "terminated" if self.terminated else "active"

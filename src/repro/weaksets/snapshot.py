@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from ..errors import FailureException, NoSuchObjectError
 from ..spec.termination import Failed, Outcome, Returned, Yielded
 from ..store.elements import Element
 from .base import WeakSet
@@ -34,9 +33,18 @@ __all__ = ["SnapshotIterator", "SnapshotSet"]
 
 
 class SnapshotIterator(ElementsIterator):
-    """Iterator over the set's first-state value."""
+    """Iterator over the set's first-state value.
+
+    Values are drained through the shared :class:`FetchPipeline`
+    (``validation="probe"``: results buffered across a world change are
+    re-validated at the home before being trusted).  A ``gone`` result —
+    removed since the snapshot — is still *yielded* (descriptor with
+    ``value=None``): its home answered, so it is in
+    ``reachable(s_first)``, and Figure 4 says lost mutations may show.
+    """
 
     impl_name = "snapshot"
+    pipeline_validation = "probe"
 
     def __init__(self, *args: Any, fetch_values: bool = True, **kwargs: Any):
         super().__init__(*args, **kwargs)
@@ -53,22 +61,28 @@ class SnapshotIterator(ElementsIterator):
         remaining = self.snapshot - self.yielded
         if not remaining:
             return Returned()
-        for element in self.closest_first(remaining):
-            if not self.fetch_values:
-                return Yielded(element, None)
-            try:
-                value = yield from self.repo.fetch(element)
-                return Yielded(element, value)
-            except NoSuchObjectError:
-                # Removed since the snapshot: its home answered, so it is
-                # reachable; Figure 4 says yield it anyway (a "lost"
+        if not self.fetch_values:
+            return Yielded(self.closest_first(remaining)[0], None)
+        pipe = self._ensure_pipeline()
+        pipe.submit(remaining)
+        retried = False
+        while True:
+            result, unreachable = yield from self._next_from_pipeline()
+            if result is not None:
+                if result.ok:
+                    return Yielded(result.element, result.value)
+                # Removed since the snapshot: yield it anyway (a "lost"
                 # mutation the client may observe).
-                return Yielded(element, None)
-            except FailureException:
-                continue  # unreachable right now; try a farther element
-        return Failed(
-            f"{len(remaining)} snapshot element(s) unreachable and none yieldable"
-        )
+                return Yielded(result.element, None)
+            if unreachable and not retried:
+                # One fresh attempt within this invocation — connectivity
+                # may have changed since those fetches were issued.
+                retried = True
+                pipe.submit(unreachable)
+                continue
+            return Failed(
+                f"{len(remaining)} snapshot element(s) unreachable and none yieldable"
+            )
 
 
 class SnapshotSet(WeakSet):

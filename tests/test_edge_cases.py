@@ -136,7 +136,10 @@ def test_client_crash_parks_optimistic_query():
         return (yield from iterator.drain())
 
     def crash_then_recover():
-        yield Sleep(0.05)
+        # Crash while the first fetches are still in flight (the batched
+        # pipeline finishes a 5-member drain well under 50ms, so the
+        # crash must land before the first value arrives).
+        yield Sleep(0.03)
         net.crash(CLIENT)
         yield Sleep(8.0)
         net.recover(CLIENT)

@@ -43,7 +43,10 @@ def test_time_to_first_element_is_whole_prefetch():
     dyn = DynamicSet(world2, CLIENT, "coll")
     dyn_result = drain_all(kernel2, dyn)
     # whereas the weak iterator streams: first element arrives early
-    assert dyn_result.time_to_first < 0.3 * dyn_result.total_time
+    # (the batched pipeline also shrinks the *total* drain, so the
+    # ratio is looser than in the serial-read days — the absolute
+    # comparison against the strong baseline below is the sharp one)
+    assert dyn_result.time_to_first < 0.5 * dyn_result.total_time
     assert result.time_to_first > 3 * dyn_result.time_to_first
 
 
