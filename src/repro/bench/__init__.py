@@ -1,4 +1,4 @@
-"""The evaluation harness: experiments E1–E19 (see DESIGN.md §5).
+"""The evaluation harness: experiments E1–E20 (see DESIGN.md §5).
 
 Each ``run_*`` function builds its worlds, runs the simulation, and
 returns an :class:`~repro.bench.report.ExperimentResult` whose ``str()``
@@ -27,6 +27,7 @@ from .exp_recovery import run_recovery
 from .exp_resilience import run_resilience
 from .exp_scale import run_scale
 from .exp_system import run_system
+from .exp_writepipe import run_writepipe
 from .exp_static import PAPER_TAXONOMY, run_reachability, run_taxonomy
 from .metrics import Summary, rate, summarize
 from .report import ExperimentResult, format_kv, format_table
@@ -63,6 +64,7 @@ __all__ = [
     "run_system",
     "run_taxonomy",
     "run_time_to_first",
+    "run_writepipe",
     "summarize",
 ]
 
@@ -90,4 +92,5 @@ ALL_EXPERIMENTS = {
     "E17": run_obs,
     "E18": run_recovery,
     "E19": run_fetchpipe,
+    "E20": run_writepipe,
 }

@@ -13,6 +13,13 @@ compares every experiment's table, row by row and field by field:
   ignored — the artifact's simulation numbers are seed-deterministic,
   wall time is not, and gating on CI-machine noise helps nobody.
 
+Numeric deviations beyond tolerance are classified by the field's
+*direction* (:func:`metric_direction`): a latency that shrank or a
+speedup that grew is an **improvement**, not a regression.  Improvements
+never fail the gate, but they are printed loudly — a baseline that keeps
+reporting "you got faster" has rotted and should be regenerated so the
+gate can catch the *next* regression from the new, better level.
+
 Exit status: 0 clean, 1 regressions found (0 with ``--warn-only``),
 2 usage/loading errors.  Experiments present only in the baseline are
 regressions (coverage must not silently shrink); experiments only in
@@ -27,10 +34,35 @@ from typing import Iterable
 from .artifact import load_artifact
 
 __all__ = ["compare_artifacts", "compare_files", "main",
-           "DEFAULT_IGNORED_KEYS"]
+           "metric_direction", "DEFAULT_IGNORED_KEYS"]
 
 #: Machine-dependent keys never gated on.
 DEFAULT_IGNORED_KEYS = frozenset({"elapsed_wall_s", "wall_ms"})
+
+#: Substrings marking a field where *smaller* is better.
+_LOWER_BETTER = ("time", "latency", "cost", "staleness", "lag", "viol",
+                 "ghost", "dangling", "orphan", "message", "bytes", "rpc",
+                 "failure", "retries", "blocked", "abort", "miss")
+#: Substrings marking a field where *larger* is better.
+_HIGHER_BETTER = ("speedup", "yield", "ok", "hit", "completion", "throughput",
+                  "avail", "acked", "healed", "conform")
+
+
+def metric_direction(key: str) -> str:
+    """Which way a numeric field is allowed to move and still be good.
+
+    Returns ``"lower"`` (smaller is better), ``"higher"`` (larger is
+    better), or ``"neutral"`` (no idea — any out-of-tolerance move is a
+    regression, the conservative default).  Matching is on substrings of
+    the lowercased key, lower-better first: ``viol`` in a name trumps
+    ``speedup`` because a violation count must never be read as good.
+    """
+    lowered = key.lower()
+    if any(mark in lowered for mark in _LOWER_BETTER):
+        return "lower"
+    if any(mark in lowered for mark in _HIGHER_BETTER):
+        return "higher"
+    return "neutral"
 
 
 def _is_number(value) -> bool:
@@ -48,7 +80,8 @@ def _deviation(old: float, new: float) -> float:
 
 def compare_rows(exp_id: str, index: int, old_row: dict, new_row: dict,
                  tolerance: float, ignore: frozenset[str],
-                 regressions: list[str]) -> None:
+                 regressions: list[str],
+                 improvements: list[str] | None = None) -> None:
     for key in old_row:
         if key in ignore:
             continue
@@ -60,9 +93,17 @@ def compare_rows(exp_id: str, index: int, old_row: dict, new_row: dict,
         if _is_number(old_value) and _is_number(new_value):
             deviation = _deviation(old_value, new_value)
             if deviation > tolerance:
-                regressions.append(
+                direction = metric_direction(key)
+                got_better = (
+                    (direction == "lower" and new_value < old_value)
+                    or (direction == "higher" and new_value > old_value))
+                message = (
                     f"{exp_id} row {index}: {key} {old_value} -> {new_value} "
                     f"(deviation {deviation:.1%} > tolerance {tolerance:.1%})")
+                if got_better and improvements is not None:
+                    improvements.append(message)
+                else:
+                    regressions.append(message)
         elif old_value != new_value:
             regressions.append(
                 f"{exp_id} row {index}: {key} {old_value!r} -> {new_value!r}")
@@ -70,10 +111,17 @@ def compare_rows(exp_id: str, index: int, old_row: dict, new_row: dict,
 
 def compare_artifacts(old: dict, new: dict, tolerance: float = 0.1,
                       ignore: Iterable[str] = DEFAULT_IGNORED_KEYS,
-                      ) -> tuple[list[str], list[str]]:
-    """Diff two artifacts; returns (regressions, info notes)."""
+                      ) -> tuple[list[str], list[str], list[str]]:
+    """Diff two artifacts; returns (regressions, improvements, info).
+
+    Regressions fail the gate.  Improvements — numeric fields that moved
+    beyond tolerance in their *good* direction (see
+    :func:`metric_direction`) — pass it, but signal the baseline has
+    rotted and should be regenerated.
+    """
     ignored = frozenset(ignore)
     regressions: list[str] = []
+    improvements: list[str] = []
     info: list[str] = []
     old_experiments = {e["id"]: e for e in old.get("experiments", [])}
     new_experiments = {e["id"]: e for e in new.get("experiments", [])}
@@ -89,16 +137,16 @@ def compare_artifacts(old: dict, new: dict, tolerance: float = 0.1,
             continue
         for index, (old_row, new_row) in enumerate(zip(old_rows, new_rows)):
             compare_rows(exp_id, index, old_row, new_row, tolerance,
-                         ignored, regressions)
+                         ignored, regressions, improvements)
     for exp_id in new_experiments:
         if exp_id not in old_experiments:
             info.append(f"{exp_id}: new experiment (not in baseline), skipped")
-    return regressions, info
+    return regressions, improvements, info
 
 
 def compare_files(old_path: str, new_path: str, tolerance: float = 0.1,
                   ignore: Iterable[str] = DEFAULT_IGNORED_KEYS,
-                  ) -> tuple[list[str], list[str]]:
+                  ) -> tuple[list[str], list[str], list[str]]:
     return compare_artifacts(load_artifact(old_path), load_artifact(new_path),
                              tolerance=tolerance, ignore=ignore)
 
@@ -141,13 +189,19 @@ def main(argv: list[str]) -> int:
               flush=True)
         return 2
     try:
-        regressions, info = compare_files(paths[0], paths[1],
-                                          tolerance=tolerance, ignore=ignore)
+        regressions, improvements, info = compare_files(
+            paths[0], paths[1], tolerance=tolerance, ignore=ignore)
     except (OSError, ValueError) as exc:
         print(f"compare: {exc}", flush=True)
         return 2
     for note in info:
         print(f"note: {note}")
+    if improvements:
+        print(f"IMPROVED: {len(improvements)} metric(s) beat the baseline "
+              f"beyond tolerance {tolerance:.1%} — regenerate the baseline "
+              f"so the gate tracks the new level")
+        for improvement in improvements:
+            print(f"  {improvement}")
     if regressions:
         verdict = "WARN" if warn_only else "FAIL"
         print(f"{verdict}: {len(regressions)} regression(s) beyond "
@@ -155,5 +209,8 @@ def main(argv: list[str]) -> int:
         for regression in regressions:
             print(f"  {regression}")
         return 0 if warn_only else 1
-    print(f"OK: artifacts agree within tolerance {tolerance:.1%}")
+    if improvements:
+        print("OK: no regressions (improvements noted above)")
+    else:
+        print(f"OK: artifacts agree within tolerance {tolerance:.1%}")
     return 0

@@ -64,8 +64,11 @@ class DynSetHandle:
         view = yield from self.repo.read_membership(
             self.coll_id, source=self.membership_source
         )
+        # name order, not raw frozenset order: the set's iteration order
+        # leaks the process-global oid counter and hash seed, which made
+        # the closest_first=False ablation nondeterministic across runs
         self.engine = PrefetchEngine(
-            self.repo, list(view.members),
+            self.repo, sorted(view.members, key=lambda e: e.name),
             parallelism=self.parallelism,
             retry_interval=self.retry_interval,
             give_up_after=self.give_up_after,

@@ -59,8 +59,15 @@ class Network:
         }
         self.transport = Transport(kernel, topology, self.partitions, self.nodes)
         self._listeners: list = []
+        #: bumped on every connectivity mutation (crash/recover/split/
+        #: isolate/rejoin/heal/cut_link/restore_link — everything that
+        #: can change ``expected_latency``); memoized host rankings are
+        #: valid exactly as long as the generation stands still.
+        self.generation = 0
+        self._rank_cache: dict = {}
         self._m_attempts = kernel.obs.metrics.counter("rpc.attempts")
         self._m_attempt_latency = kernel.obs.metrics.histogram("rpc.attempt_latency")
+        self._m_rank_cache_hits = kernel.obs.metrics.counter("fetch.rank_cache_hits")
 
     # -- change notification -------------------------------------------------
     def on_connectivity_change(self, callback) -> "callable":
@@ -80,6 +87,8 @@ class Network:
         return unsubscribe
 
     def _notify(self) -> None:
+        self.generation += 1
+        self._rank_cache.clear()
         for callback in list(self._listeners):
             callback()
 

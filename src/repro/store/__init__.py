@@ -20,11 +20,20 @@ from .fetchplan import (
 from .reachability import Figure2, figure2_world
 from .recovery import RecoveryManager, RepairDaemon
 from .repository import MembershipView, Repository
-from .server import CollectionState, ObjectServer, POLICIES, erase_step
+from .server import (
+    CollectionState,
+    ObjectServer,
+    POLICIES,
+    batch_add_step,
+    batch_erase_step,
+    erase_step,
+)
 from .wal import IntentLog, IntentRecord
 from .world import CollectionInfo, World
+from .writeplan import AddSpec, WritePipeline, WritePlanner, WriteResult
 
 __all__ = [
+    "AddSpec",
     "AntiEntropySyncer",
     "ClientCache",
     "CollectionInfo",
@@ -45,7 +54,12 @@ __all__ = [
     "Repository",
     "StoredObject",
     "World",
+    "WritePipeline",
+    "WritePlanner",
+    "WriteResult",
     "apply_delta",
+    "batch_add_step",
+    "batch_erase_step",
     "erase_step",
     "figure2_world",
     "fresh_oid",

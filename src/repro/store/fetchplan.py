@@ -83,13 +83,29 @@ def rank_hosts(net, origin: NodeId, hosts: Iterable[NodeId]) -> tuple[NodeId, ..
     The one shared ranking helper: ``Repository.ranked_hosts`` /
     ``nearest_host``, the replica order of the failover sweep, and the
     planner all use it (deterministic: latency, then node id).
+
+    Hot on every membership read, failover sweep, and plan, so the
+    result is memoized on the network per ``(origin, hosts)``; the
+    network clears the cache (and bumps its ``generation``) on every
+    connectivity change, so a hit is always current.
     """
+    hosts = tuple(hosts)
+    cache = getattr(net, "_rank_cache", None)
+    key = (origin, hosts)
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            net._m_rank_cache_hits.value += 1
+            return hit
     with_latency = []
     for host in hosts:
         latency = net.expected_latency(origin, host)
         if latency is not None:
             with_latency.append((latency, host))
-    return tuple(host for _, host in sorted(with_latency))
+    ranked = tuple(host for _, host in sorted(with_latency))
+    if cache is not None:
+        cache[key] = ranked
+    return ranked
 
 
 def order_closest_first(net, origin: NodeId,

@@ -33,7 +33,7 @@ from typing import TYPE_CHECKING, Generator
 from ..errors import FailureException, SimulationError
 from ..net.resilience import ResilientClient, RetryPolicy
 from ..sim.events import Sleep
-from .server import ObjectServer, erase_step
+from .server import ObjectServer, batch_add_step, batch_erase_step, erase_step
 from .wal import PENDING, IntentRecord
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -110,43 +110,92 @@ class RecoveryManager:
                     state.sealed = True
                 server.wal.commit(record)
                 return True
+            if record.kind == "add-batch":
+                if state is None or not record.elements:
+                    server.wal.abort(record)
+                    return True
+                for item in record.elements:
+                    existing = state.members.get(item.name)
+                    if existing is None:
+                        state.members[item.name] = item
+                        server.wal.mark(record, batch_add_step(item))
+                    elif existing == item:
+                        server.wal.mark(record, batch_add_step(item))
+                    # else: a different element claimed the name after the
+                    # crash — leave it; _finish_add_batch skips this item.
+                server._finish_add_batch(state, record)
+                self._m_replayed.inc()
+                return True
+            if record.kind == "erase-batch":
+                if state is None or not record.elements:
+                    server.wal.abort(record)
+                    return True
+                for item in record.elements:
+                    ok = yield from self._erase_copies(
+                        server, record, item, step_of=batch_erase_step)
+                    if not ok:
+                        return False
+                server._finish_erase_batch(state, record.elements, record)
+                self._m_replayed.inc()
+                return True
             element = record.element
             if state is None or element is None:
                 server.wal.abort(record)
                 return True
-            net = self.world.net
-            for holder in element.replicas + (element.home,):
-                step = erase_step(element, holder)
-                if record.done(step):
-                    continue
-                try:
-                    if holder == server.node_id:
-                        yield from server.delete_object(element.oid)
-                    else:
-                        if not net.node(server.node_id).up:
-                            return False
-                        yield from self.client.call(
-                            server.node_id, holder, ObjectServer.SERVICE,
-                            "delete_object", element.oid,
-                        )
-                except (FailureException, SimulationError):
-                    self._m_blocked.inc()
-                    return False
-                server.wal.mark(record, step)
+            ok = yield from self._erase_copies(server, record, element)
+            if not ok:
+                return False
             server._finish_erase(state, element, record)
             self._m_replayed.inc()
             return True
         finally:
             record.in_flight = False
 
+    def _erase_copies(self, server: ObjectServer, record: IntentRecord,
+                      element, step_of=erase_step) -> Generator[object, object, bool]:
+        """Idempotently re-delete one element's unmarked copies.
+
+        ``step_of`` picks the step namespace: plain erase intents use
+        ``erase_step`` names, batch intents the per-item
+        ``batch_erase_step`` names.  Returns False (intent stays
+        pending) when a holder is unreachable or this node goes down.
+        """
+        net = self.world.net
+        for holder in element.replicas + (element.home,):
+            step = step_of(element, holder)
+            if record.done(step):
+                continue
+            try:
+                if holder == server.node_id:
+                    yield from server.delete_object(element.oid)
+                else:
+                    if not net.node(server.node_id).up:
+                        return False
+                    yield from self.client.call(
+                        server.node_id, holder, ObjectServer.SERVICE,
+                        "delete_object", element.oid,
+                    )
+            except (FailureException, SimulationError):
+                self._m_blocked.inc()
+                return False
+            server.wal.mark(record, step)
+        return True
+
 
 class RepairDaemon:
     """Background scrub: retry pending intents, heal dangling members,
-    delete orphaned copies of removed elements."""
+    delete orphaned copies of removed elements, and garbage-collect
+    objects no collection references (the debris of failed adds)."""
 
     #: members whose home is probed per collection per round (rotating
     #: cursor) — bounds steady-state probe traffic on large collections.
     PROBE_BUDGET = 4
+
+    #: scrub rounds a live object may sit unreferenced before pass 4
+    #: collects it — long enough for an in-flight add (object stored,
+    #: membership registration still travelling) to land, or for the
+    #: writing client to run its own best-effort cleanup first.
+    ORPHAN_GRACE_ROUNDS = 4
 
     def __init__(self, world: "World"):
         self.world = world
@@ -161,6 +210,7 @@ class RepairDaemon:
         self._m_probes = metrics.counter("repair.probes")
         self._m_dangling = metrics.counter("repair.dangling_healed")
         self._m_orphans = metrics.counter("repair.orphans_deleted")
+        self._m_gc = metrics.counter("repair.objects_gcd")
 
     def run(self) -> Generator:
         tracer = self.world.kernel.obs.tracer
@@ -180,7 +230,9 @@ class RepairDaemon:
                     continue
                 healed += yield from self._heal_dangling(server, state)
                 orphans += yield from self._verify_removals(server, state)
-            tracer.finish(span, retried=retried, healed=healed, orphans=orphans)
+            gcd = yield from self._collect_orphan_objects()
+            tracer.finish(span, retried=retried, healed=healed, orphans=orphans,
+                          gcd=gcd)
 
     # -- pass 1: retry pending intents everywhere -------------------------
     def _retry_pending(self) -> Generator[object, object, int]:
@@ -248,6 +300,49 @@ class RepairDaemon:
             if verified:
                 state.unverified_removals.discard(name)
         return orphans
+
+    # -- pass 4: objects nobody references (debris of failed adds) --------
+    def _collect_orphan_objects(self) -> Generator[object, object, int]:
+        """Delete live objects no collection references.
+
+        A crashed or failed add can leave object copies whose membership
+        registration never happened and whose client-side cleanup could
+        not reach a downed holder — invisible to pass 3, which only
+        chases *tombstoned* removals.  The referenced set is read from
+        simulator state (the same God's-eye view passes 2-3 use for
+        primary membership); the deletes run on the holding server
+        itself.  A grace period of :data:`ORPHAN_GRACE_ROUNDS` scrub
+        rounds keeps freshly-written objects of in-flight adds safe.
+        """
+        grace = self.world.scrub_interval * self.ORPHAN_GRACE_ROUNDS
+        referenced: set = set()
+        for coll_id, info in self.world.collections.items():
+            state = self.world.servers[info.primary].collections.get(coll_id)
+            if state is None:
+                continue
+            for element in state.members.values():
+                referenced.add(element.oid)
+            for _, element in state.removed.values():
+                referenced.add(element.oid)
+        for server in self.world.servers.values():
+            for record in server.wal.pending():
+                if record.element is not None:
+                    referenced.add(record.element.oid)
+                for element in record.elements:
+                    referenced.add(element.oid)
+        collected = 0
+        for node in sorted(self.world.servers):
+            if not self.world.net.node(node).up:
+                continue
+            server = self.world.servers[node]
+            doomed = [obj.oid for obj in server.objects.values()
+                      if not obj.deleted and obj.oid not in referenced
+                      and self.world.now - obj.created_at >= grace]
+            for oid in doomed:
+                yield from server.delete_object(oid)
+                collected += 1
+                self._m_gc.inc()
+        return collected
 
     # -- RPC helpers ------------------------------------------------------
     def _probe(self, server: ObjectServer, holder, oid) -> Generator[object, object, object]:

@@ -10,7 +10,7 @@ implementations honest subjects for the specification checker.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Generator, Optional
+from typing import Any, Generator, Iterable, Optional
 
 from ..errors import CircuitOpenFailure, FailureException, UnreachableObjectFailure
 from ..net.address import NodeId
@@ -20,6 +20,7 @@ from .elements import Element, fresh_oid
 from .fetchplan import rank_hosts
 from .server import ObjectServer
 from .world import World
+from .writeplan import AddSpec, WritePipeline, WriteResult
 
 __all__ = ["Repository", "MembershipView"]
 
@@ -63,6 +64,7 @@ class Repository:
         self._m_cache_hits = metrics.counter("repo.cache_hits")
         self._m_membership_reads = metrics.counter("repo.membership_reads")
         self._m_membership_age = metrics.histogram("repo.membership_age")
+        self._m_orphan_cleanups = metrics.counter("write.orphan_cleanups")
 
     # ------------------------------------------------------------------
     # host selection
@@ -247,13 +249,105 @@ class Repository:
         element = Element(name=name, oid=fresh_oid(name), home=home,
                           replicas=replicas)
         yield from self._call(home, "put_object", element.oid, value, size)
-        for replica in replicas:
-            yield from self._call(replica, "put_object", element.oid, value, size)
-        yield from self._call(self.primary_of(coll_id), "add_member", coll_id, element)
+        placed = [home]
+        try:
+            for replica in replicas:
+                yield from self._call(replica, "put_object", element.oid,
+                                      value, size)
+                placed.append(replica)
+            yield from self._call(self.primary_of(coll_id), "add_member",
+                                  coll_id, element)
+        except FailureException:
+            # A copy landed but the element never became (provably) a
+            # member: reclaim the copies so the failed add leaves no
+            # orphaned objects behind.  (If the membership RPC's *ack*
+            # was lost after the server applied it, this leaves a
+            # dangling member — which the scrub daemon heals; both
+            # routes converge on "not a member".)
+            yield from self._cleanup_orphans(element, tuple(placed))
+            raise
         return element
+
+    def _cleanup_orphans(self, element: Element,
+                         placed: tuple[NodeId, ...]) -> Generator[Any, Any, None]:
+        """Best-effort deletion of a failed add's landed copies.
+
+        Single attempt per copy and failures are swallowed — the
+        caller is already propagating the add's failure, and the repair
+        daemon's orphan-GC pass reclaims whatever this misses.
+        """
+        for dest in placed:
+            self._m_orphan_cleanups.value += 1
+            try:
+                yield from self._call_once(dest, "delete_object", element.oid)
+            except FailureException:
+                pass
 
     def remove(self, coll_id: str, element: Element) -> Generator[Any, Any, None]:
         yield from self._call(self.primary_of(coll_id), "remove_member", coll_id, element)
+
+    # ------------------------------------------------------------------
+    # bulk writes (batched + pipelined; see repro.store.writeplan)
+    # ------------------------------------------------------------------
+    def add_many(self, coll_id: str, specs: Iterable[AddSpec | str], *,
+                 window: int = 4, batch_size: int = 8,
+                 on_failure: str = "raise"
+                 ) -> Generator[Any, Any, list[Element]]:
+        """Add many elements through a :class:`WritePipeline`.
+
+        ``specs`` are :class:`AddSpec` entries (bare strings mean "name
+        only, defaults for the rest").  Same-destination puts coalesce
+        into ``put_objects`` multi-puts with replica fan-out issued
+        concurrently; registrations coalesce into group-committed
+        ``add_members`` batches.  ``on_failure="raise"`` re-raises the
+        first failure after the whole pipeline drains (every operation
+        still runs — no partial abandonment); ``"skip"`` tolerates
+        failures and returns only the elements that were added.
+        """
+        results = yield from self._run_pipeline(
+            coll_id, [s if isinstance(s, AddSpec) else AddSpec(s)
+                      for s in specs],
+            (), window=window, batch_size=batch_size)
+        self._check_failures(results, on_failure)
+        return [r.element for r in results if r.ok]
+
+    def remove_many(self, coll_id: str, elements: Iterable[Element], *,
+                    window: int = 4, batch_size: int = 8,
+                    on_failure: str = "raise"
+                    ) -> Generator[Any, Any, int]:
+        """Remove many elements via group-committed ``remove_members``
+        batches; returns how many removals were acknowledged."""
+        results = yield from self._run_pipeline(
+            coll_id, (), tuple(elements), window=window,
+            batch_size=batch_size)
+        self._check_failures(results, on_failure)
+        return sum(1 for r in results if r.ok)
+
+    def _run_pipeline(self, coll_id: str, specs, elements, *,
+                      window: int, batch_size: int
+                      ) -> Generator[Any, Any, list[WriteResult]]:
+        pipeline = WritePipeline(self, coll_id, window=window,
+                                 batch_size=batch_size)
+        pipeline.start()
+        try:
+            for spec in specs:
+                pipeline.submit_add(spec)
+            for element in elements:
+                pipeline.submit_remove(element)
+            results = yield from pipeline.drain()
+        finally:
+            pipeline.stop()
+        return results
+
+    @staticmethod
+    def _check_failures(results: list[WriteResult], on_failure: str) -> None:
+        if on_failure == "skip":
+            return
+        if on_failure != "raise":
+            raise ValueError(f"unknown on_failure mode {on_failure!r}")
+        for result in results:
+            if not result.ok and result.error is not None:
+                raise result.error
 
     def replace(self, coll_id: str, element: Element, name: str,
                 value: Any = None, home: Optional[NodeId] = None,

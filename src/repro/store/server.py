@@ -50,7 +50,8 @@ from .wal import IntentLog, IntentRecord
 if TYPE_CHECKING:  # pragma: no cover
     from .world import World
 
-__all__ = ["ObjectServer", "CollectionState", "POLICIES", "erase_step"]
+__all__ = ["ObjectServer", "CollectionState", "POLICIES", "erase_step",
+           "batch_erase_step", "batch_add_step"]
 
 POLICIES = ("any", "grow-only", "grow-during-run", "immutable")
 
@@ -63,6 +64,21 @@ def erase_step(element: Element, holder: NodeId) -> str:
     remote action before the membership pop.
     """
     return "home-deleted" if holder == element.home else f"deleted:{holder}"
+
+
+def batch_erase_step(element: Element, holder: NodeId) -> str:
+    """Per-item WAL step inside an ``erase-batch`` intent.
+
+    Namespaced by oid so one record can track every item's progress;
+    crash points armed at the bare base step (``"home-deleted"``) still
+    fire via the log's suffix matching.
+    """
+    return f"{element.oid}:{erase_step(element, holder)}"
+
+
+def batch_add_step(element: Element) -> str:
+    """Per-item WAL step inside an ``add-batch`` intent."""
+    return f"{element.name}:added"
 
 
 @dataclass
@@ -187,16 +203,42 @@ class ObjectServer:
         return tuple(outcomes)
 
     def put_object(self, oid: ObjectId, value: Any, size: int = 0) -> Generator[Any, Any, int]:
+        # Re-creating a tombstoned object resumes from the tombstone's
+        # version: version numbers stay monotonic per oid, so a stale
+        # reader can never mistake the reborn object for the old one.
         yield Sleep(self.world.service_time)
+        return self._store(oid, value, size)
+
+    def put_objects(
+        self, entries: Sequence[tuple[ObjectId, Any, int]]
+    ) -> Generator[Any, Any, tuple[int, ...]]:
+        """Batched multi-put: one service-time charge for the whole
+        batch, then each ``(oid, value, size)`` entry is stored exactly
+        as :meth:`put_object` would — update in place, or resume the
+        version from a tombstone.  Returns the per-oid versions.
+
+        No WAL intent is needed here: unlike a membership batch, the
+        stores all land at the same serve instant (nothing yields
+        between them), so a crash either loses the whole batch — the
+        client sees the failure and cleans up or retries — or none of
+        it.  The group-commit machinery guards the *multi-step* batch
+        RPCs (:meth:`add_members` / :meth:`remove_members`).
+        """
+        if not entries:
+            return ()
+        yield Sleep(self.world.service_time)
+        versions = []
+        for oid, value, size in entries:
+            versions.append(self._store(oid, value, size))
+        return tuple(versions)
+
+    def _store(self, oid: ObjectId, value: Any, size: int) -> int:
         existing = self.objects.get(oid)
         if existing is not None and not existing.deleted:
             existing.value = value
             existing.size = size
             existing.version += 1
             return existing.version
-        # Re-creating a tombstoned object resumes from the tombstone's
-        # version: version numbers stay monotonic per oid, so a stale
-        # reader can never mistake the reborn object for the old one.
         version = existing.version + 1 if existing is not None else 1
         self.objects[oid] = StoredObject(
             oid=oid, value=value, size=size, created_at=self.world.now,
@@ -375,6 +417,174 @@ class ObjectServer:
             state.version += 1
             state.removed[element.name] = (state.version, element)
             state.unverified_removals.add(element.name)
+            self.wal.mark(record, "membership")
+            self.wal.commit(record)
+            self.world._membership_changed(state.coll_id)
+        else:
+            self.wal.commit(record)
+
+    # ------------------------------------------------------------------
+    # collections: batched mutation (primary only, group commit)
+    # ------------------------------------------------------------------
+    def add_members(self, coll_id: str,
+                    elements: Sequence[Element]) -> Generator[Any, Any, int]:
+        """Register a batch of members under one WAL intent (group commit).
+
+        Validation happens up front — a sealed collection or a name
+        conflict fails the whole batch before anything mutates.  Each
+        accepted element is inserted and then step-marked
+        (``"<name>:added"``), so a crash mid-batch leaves an intent
+        recovery can finish item-precisely: marked items are skipped,
+        unmarked ones re-inserted idempotently.  The version bump is
+        deferred to the end and coalesced — the whole batch becomes
+        visible to ``sync_delta`` as **one** version jump, which is the
+        server-side half of what makes batched writes cheap.
+        """
+        yield Sleep(self.world.service_time)
+        state = self._primary(coll_id)
+        if state.sealed:
+            raise MutationNotAllowed(f"{coll_id} is sealed (immutable)")
+        to_add: list[Element] = []
+        for element in elements:
+            existing = state.members.get(element.name)
+            if existing is not None:
+                if existing == element:
+                    continue                     # idempotent re-add
+                raise MutationNotAllowed(
+                    f"{coll_id} already has a member named {element.name!r}"
+                )
+            to_add.append(element)
+        if not to_add:
+            return state.version
+        record = self.wal.append("add-batch", coll_id, origin="add_many",
+                                 elements=tuple(to_add))
+        record.in_flight = True
+        try:
+            yield from self.wal.step(record, "begin")
+            for element in to_add:
+                state.members[element.name] = element
+                yield from self.wal.step(record, batch_add_step(element))
+            self._finish_add_batch(state, record)
+        finally:
+            record.in_flight = False
+        return state.version
+
+    def _finish_add_batch(self, state: CollectionState,
+                          record: IntentRecord) -> None:
+        """Final local step of an add batch: one coalesced version bump.
+
+        Idempotent (a resumed handler may race recovery): only elements
+        actually present and not yet stamped with a member version are
+        finalized; the intent commits either way.  Inserts without a
+        ``member_versions`` stamp are still synced correctly meanwhile
+        (``sync_delta`` defaults a missing stamp to the current version).
+        """
+        applied = [e for e in record.elements
+                   if state.members.get(e.name) == e
+                   and e.name not in state.member_versions]
+        if applied:
+            state.version += 1
+            for element in applied:
+                state.member_versions[element.name] = state.version
+            self.wal.mark(record, "membership")
+            self.wal.commit(record)
+            self.world._membership_changed(state.coll_id)
+        else:
+            self.wal.commit(record)
+
+    def remove_members(self, coll_id: str,
+                       elements: Sequence[Element]) -> Generator[Any, Any, int]:
+        """Remove a batch of members under one WAL intent (group commit).
+
+        Policy checks and idempotent/ghost filtering happen up front;
+        the surviving targets share one ``erase-batch`` record whose
+        per-item steps (``"<oid>:deleted:<node>"``,
+        ``"<oid>:home-deleted"``) are marked as each copy dies — replica
+        copies strictly before the home, the same order the single
+        erase keeps, so "live copy implies member" survives batching.
+        Membership pops are deferred to the end and coalesced into one
+        version bump.  A clean failure mid-batch (unreachable holder)
+        commits the fully-erased prefix, leaves the rest members, and
+        propagates the failure — item-precise partial application;
+        removal is idempotent, so the client may simply retry.
+        """
+        yield Sleep(self.world.service_time)
+        state = self._primary(coll_id)
+        if state.policy == "grow-only":
+            raise MutationNotAllowed(f"{coll_id} is grow-only; remove rejected")
+        if state.sealed or state.policy == "immutable":
+            raise MutationNotAllowed(f"{coll_id} is immutable; remove rejected")
+        targets: list[Element] = []
+        for element in elements:
+            current = state.members.get(element.name)
+            if current is None or current != element:
+                continue                         # already gone: idempotent
+            if state.policy == "grow-during-run" and state.active_iterations:
+                state.ghosts.add(element.name)   # §3.3 deferral, per item
+                continue
+            targets.append(element)
+        if not targets:
+            return state.version
+        record = self.wal.append("erase-batch", coll_id, origin="remove_many",
+                                 elements=tuple(targets))
+        record.in_flight = True
+        try:
+            yield from self.wal.step(record, "begin")
+            erased: list[Element] = []
+            failure: Optional[FailureException] = None
+            for element in targets:
+                try:
+                    yield from self._erase_copies(record, element)
+                except FailureException as exc:
+                    failure = exc
+                    break
+                erased.append(element)
+            if failure is not None and not erased:
+                # Nothing irreversible for any completed item: behave
+                # like the single erase's clean failure.
+                self.wal.abort(record)
+                raise failure
+            self._finish_erase_batch(state, erased, record)
+            if failure is not None:
+                raise failure
+        finally:
+            record.in_flight = False
+        return state.version
+
+    def _erase_copies(self, record: IntentRecord, element: Element) -> Generator:
+        """Delete one element's copies (replicas before home), marking
+        the batch-namespaced step after each delete lands."""
+        for holder in element.replicas + (element.home,):
+            step = batch_erase_step(element, holder)
+            if record.done(step):
+                continue
+            if holder == self.node_id:
+                yield from self.delete_object(element.oid)
+            else:
+                yield from self.world.net.call(
+                    self.node_id, holder, self.SERVICE, "delete_object",
+                    element.oid
+                )
+            yield from self.wal.step(record, step)
+
+    def _finish_erase_batch(self, state: CollectionState,
+                            elements: Sequence[Element],
+                            record: IntentRecord) -> None:
+        """Pop a batch's memberships under one coalesced version bump.
+
+        Idempotent, like :meth:`_finish_erase`; every tombstone carries
+        the single post-batch version, so a replica syncs the whole
+        group of removals as one jump.
+        """
+        popped = [e for e in elements if state.members.get(e.name) == e]
+        if popped:
+            state.version += 1
+            for element in popped:
+                state.members.pop(element.name, None)
+                state.ghosts.discard(element.name)
+                state.member_versions.pop(element.name, None)
+                state.removed[element.name] = (state.version, element)
+                state.unverified_removals.add(element.name)
             self.wal.mark(record, "membership")
             self.wal.commit(record)
             self.world._membership_changed(state.coll_id)

@@ -56,10 +56,13 @@ class IntentRecord:
     """
 
     intent_id: int
-    kind: str                       # "erase" | "seal"
-    origin: str                     # "remove" | "purge" | "scrub" | "seal"
+    kind: str                       # "erase" | "seal" | "add-batch" | "erase-batch"
+    origin: str                     # "remove" | "purge" | "scrub" | "seal" | ...
     coll_id: str
     element: Optional[Element] = None
+    #: batch intents (group commit): every element covered by this one
+    #: record, each with its own per-item steps.
+    elements: tuple[Element, ...] = ()
     status: str = PENDING
     steps: list[str] = field(default_factory=list)
     logged_at: float = 0.0
@@ -96,11 +99,13 @@ class IntentLog:
 
     # -- logging ----------------------------------------------------------
     def append(self, kind: str, coll_id: str, element: Optional[Element] = None,
-               origin: str = "remove") -> IntentRecord:
+               origin: str = "remove",
+               elements: tuple[Element, ...] = ()) -> IntentRecord:
         """Log an intent *before* its first step executes."""
         record = IntentRecord(
             intent_id=next(self._ids), kind=kind, origin=origin,
-            coll_id=coll_id, element=element, logged_at=self.world.now,
+            coll_id=coll_id, element=element, elements=tuple(elements),
+            logged_at=self.world.now,
         )
         if self.enabled:
             self.records.append(record)
@@ -171,10 +176,21 @@ class IntentLog:
 
     def _consume_armed(self, step: str):
         for i, (armed_step, trigger) in enumerate(self._armed):
-            if armed_step == step:
+            if self._step_matches(armed_step, step):
                 del self._armed[i]
                 return trigger
         return None
+
+    @staticmethod
+    def _step_matches(armed: str, step: str) -> bool:
+        """Exact match, or per-item match inside a batch intent.
+
+        Batch steps are namespaced ``"<item>:<base-step>"`` (e.g.
+        ``"oid-7:home-deleted"``, ``"m0003:added"``), so arming the bare
+        base step — the only name a fault plan can know ahead of time —
+        fires on any item of any batch that reaches it.
+        """
+        return armed == step or step.endswith(":" + armed)
 
     def __repr__(self) -> str:
         return (f"IntentLog({self.node_id}, {len(self.records)} records, "

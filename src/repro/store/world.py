@@ -302,6 +302,32 @@ class World:
                 if record.in_flight:
                     continue   # a replay is actively working on it
                 problems.append(f"{node}: {record} left pending at quiescence")
+        # 7. no orphaned objects: every live object is referenced by some
+        #    collection — as a member, a tombstoned removal, or an element
+        #    of a pending intent.  A failed add whose membership never
+        #    landed must not leak its copies forever (the client's
+        #    best-effort cleanup or the scrub daemon's GC pass reclaims
+        #    them).
+        referenced: set = set()
+        for coll_id, info in self.collections.items():
+            primary_state = self.servers[info.primary].collections[coll_id]
+            for element in primary_state.members.values():
+                referenced.add(element.oid)
+            for _, element in primary_state.removed.values():
+                referenced.add(element.oid)
+        for node, server in sorted(self.servers.items()):
+            for record in server.wal.pending():
+                if record.element is not None:
+                    referenced.add(record.element.oid)
+                for element in record.elements:
+                    referenced.add(element.oid)
+        for node, server in sorted(self.servers.items()):
+            for oid in sorted(server.objects):
+                obj = server.objects[oid]
+                if not obj.deleted and oid not in referenced:
+                    problems.append(
+                        f"{node}: live object {oid!r} is referenced by no "
+                        "collection (orphan from a failed add)")
         return problems
 
     # ------------------------------------------------------------------

@@ -1,0 +1,442 @@
+"""The batched, pipelined write engine behind bulk mutation.
+
+:meth:`Repository.add` pays ``(1 + replicas + 1)`` *serial* WAN round
+trips per element — home put, then each replica put one at a time, then
+the membership registration — so populating the sets the paper's
+iterators drain dominates every experiment's wall-clock.  This module is
+the write-side twin of :mod:`repro.store.fetchplan`: the same
+window/batch machinery, pointed at the opposite half of the protocol.
+
+Two pieces:
+
+:class:`WritePlanner`
+    Groups pending operations into batches and coalesces each batch's
+    object puts by destination node — every distinct destination gets
+    one ``put_objects`` multi-put RPC carrying all of its copies.
+
+:class:`WritePipeline`
+    A sliding window of in-flight batches.  An *add* moves through two
+    stages: first its object copies are written — one ``put_objects``
+    per destination, all destinations issued **concurrently** (parallel
+    ``Fork`` children joined by a barrier) instead of the serial replica
+    loop — and only once every copy has acked does the element advance
+    to the membership stage, where same-primary registrations coalesce
+    into one ``add_members`` batch RPC.  A *remove* goes straight to a
+    ``remove_members`` batch (the primary owns copy deletion, under its
+    own WAL intent).  On the server each batch RPC executes under a
+    single WAL intent with per-item steps (group commit): a crash
+    mid-batch is replayed item-precisely by the existing
+    :class:`~repro.store.recovery.RecoveryManager`, and the batch's
+    version bumps coalesce into one ``sync_delta``-visible jump.
+
+Soundness — why batching cannot reorder what must not reorder:
+
+* **Copy-implies-member** (the failover soundness condition from the
+  resilient read path): ``add_members`` for an element is issued only
+  after its home *and* replica puts have all acked, so from the first
+  instant an element is visible in any membership read, every listed
+  copy location really holds its bytes.  The put barrier enforces this
+  per element; the two-stage queue enforces it across batches.
+* A failed add cleans up after itself: any copies that did land are
+  best-effort deleted (``write.orphan_cleanups``), and whatever cleanup
+  cannot reach, the repair daemon's orphan-GC pass reclaims — so the
+  orphan-object invariant holds at quiescence either way.
+* A membership-batch failure is ambiguous (the ack may have been lost
+  after the server applied it).  Adds resolve the ambiguity toward
+  deletion — cleanup removes the copies, and if the registration *did*
+  land, the members are left dangling for the scrub daemon's
+  dangling-member pass to heal; both routes converge on "not a member".
+  Removes are idempotent, so their failures simply surface to the
+  caller, who may retry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator, Optional, Sequence
+
+from ..errors import FailureException, StoreError
+from ..net.address import NodeId
+from ..sim.events import Fork, Join, Signal, Wait
+from .elements import Element, ObjectId, fresh_oid
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .repository import Repository
+
+__all__ = ["AddSpec", "WriteResult", "WritePlanner", "WritePipeline"]
+
+
+@dataclass(frozen=True)
+class AddSpec:
+    """One element a caller wants added: the inputs of ``Repository.add``."""
+
+    name: str
+    value: Any = None
+    home: Optional[NodeId] = None     # None: the collection's primary
+    size: int = 0
+    replicas: tuple[NodeId, ...] = ()
+
+
+@dataclass(frozen=True)
+class WriteResult:
+    """One operation's fate at the hands of the pipeline."""
+
+    kind: str                          # "add" | "remove"
+    element: Element
+    ok: bool
+    error: Optional[BaseException] = field(default=None, compare=False)
+
+
+@dataclass
+class _WriteOp:
+    """Internal per-operation state threaded through the stages."""
+
+    index: int
+    kind: str                          # "add" | "remove"
+    element: Element
+    spec: Optional[AddSpec] = None     # adds only
+    done: bool = False
+    ok: bool = False
+    error: Optional[BaseException] = None
+
+
+class WritePlanner:
+    """Forms batches and coalesces their puts by destination node."""
+
+    def __init__(self, batch_size: int):
+        self.batch_size = max(1, batch_size)
+
+    def form(self, queue: deque) -> list:
+        """Pop up to one batch's worth of operations off ``queue``."""
+        return [queue.popleft()
+                for _ in range(min(self.batch_size, len(queue)))]
+
+    def put_groups(self, ops: Sequence[_WriteOp]
+                   ) -> dict[NodeId, list[tuple[ObjectId, Any, int]]]:
+        """Destination-coalesced put entries for a batch of adds.
+
+        Every node that must hold a copy of any element in the batch —
+        homes and object replicas alike — maps to the full list of
+        ``(oid, value, size)`` entries bound for it: one ``put_objects``
+        RPC per destination, issued concurrently by the pipeline.
+        """
+        groups: dict[NodeId, list[tuple[ObjectId, Any, int]]] = {}
+        for op in ops:
+            spec = op.spec
+            entry = (op.element.oid, spec.value, spec.size)
+            for dest in op.element.locations:
+                groups.setdefault(dest, []).append(entry)
+        return groups
+
+
+class WritePipeline:
+    """Sliding-window batched writer for one collection.
+
+    ``window`` is the number of concurrent batch workers (how many
+    batches may be in flight at once); ``batch_size`` bounds how many
+    operations one batch RPC may carry.  With ``window=1,
+    batch_size=1`` the pipeline degenerates to the serial write path —
+    minus the serial replica loop, which is always fanned out.
+    """
+
+    def __init__(self, repo: "Repository", coll_id: str, *,
+                 window: int = 4, batch_size: int = 8, name: str = ""):
+        self.repo = repo
+        self.world = repo.world
+        self.coll_id = coll_id
+        self.window = max(1, window)
+        self.planner = WritePlanner(batch_size)
+        self.batch_size = self.planner.batch_size
+        self.name = name or f"write-{repo.client}"
+        # -- work state ------------------------------------------------
+        self._ops: list[_WriteOp] = []           # submission order
+        self._put_todo: deque[_WriteOp] = deque()     # adds awaiting puts
+        self._member_todo: deque[_WriteOp] = deque()  # adds, puts all acked
+        self._remove_todo: deque[_WriteOp] = deque()
+        self._active = 0                         # ops inside a worker
+        self._sealed = False
+        self._stopped = False
+        self._procs: list = []
+        self._waiters: list[Signal] = []         # blocked drain()
+        self._idle: list[Signal] = []            # idle workers
+        self._span = None
+        # -- counters ---------------------------------------------------
+        self.added = 0
+        self.removed = 0
+        self.failed = 0
+        # -- observability (instruments pre-resolved, hot-path idiom) ---
+        obs = repo.obs
+        self._tracer = obs.tracer
+        metrics = obs.metrics
+        self._m_calls = metrics.counter("write.batch.calls")
+        self._m_elements = metrics.counter("write.batch.elements")
+        self._m_coalesced = metrics.counter("write.batch.coalesced")
+        self._m_acked = metrics.counter("write.batch.acked")
+        self._m_failed = metrics.counter("write.batch.failed")
+        self._m_size = metrics.histogram("write.batch.size")
+        self._m_fanout = metrics.histogram("write.batch.fanout")
+        self._m_latency = metrics.histogram("write.batch.latency")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Open the pipeline span and spawn the batch workers.
+
+        Workers adopt the caller's active span as their base parent
+        (the fetch pipeline's adoption idiom), so batch RPCs issued
+        from a worker still trace back to the bulk call that caused
+        them.
+        """
+        if self._procs or self._stopped:
+            return
+        kernel = self.world.kernel
+        self._span = self._tracer.start(
+            "write.pipeline", window=self.window, batch=self.batch_size,
+            client=str(self.repo.client), coll=self.coll_id)
+        creator = kernel.current_process
+        for i in range(self.window):
+            proc = kernel.spawn(self._worker(), name=f"{self.name}-w{i}",
+                                daemon=True)
+            if creator is not None:
+                kernel.obs.tracer.adopt(proc, creator)
+            self._procs.append(proc)
+
+    def stop(self) -> None:
+        """Kill the workers and close the span."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for proc in self._procs:
+            proc._kill()
+        self._procs.clear()
+        if self._span is not None:
+            self._tracer.finish(self._span, added=self.added,
+                                removed=self.removed, failed=self.failed)
+            self._span = None
+
+    def seal(self) -> None:
+        """Promise no further submissions; lets workers exit once every
+        operation has settled."""
+        self._sealed = True
+        self._kick_workers()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit_add(self, spec: AddSpec) -> Element:
+        """Enqueue one add; returns its (not yet registered) element."""
+        home = spec.home if spec.home is not None \
+            else self.repo.primary_of(self.coll_id)
+        replicas = tuple(r for r in spec.replicas if r != home)
+        element = Element(name=spec.name, oid=fresh_oid(spec.name),
+                          home=home, replicas=replicas)
+        op = _WriteOp(index=len(self._ops), kind="add", element=element,
+                      spec=AddSpec(spec.name, spec.value, home, spec.size,
+                                   replicas))
+        self._ops.append(op)
+        self._put_todo.append(op)
+        self._kick_workers()
+        return element
+
+    def submit_remove(self, element: Element) -> None:
+        op = _WriteOp(index=len(self._ops), kind="remove", element=element)
+        self._ops.append(op)
+        self._remove_todo.append(op)
+        self._kick_workers()
+
+    # ------------------------------------------------------------------
+    # consumption
+    # ------------------------------------------------------------------
+    def drain(self) -> Generator[Any, Any, list[WriteResult]]:
+        """Seal, wait for every operation to settle, report in
+        submission order."""
+        self.seal()
+        while not all(op.done for op in self._ops):
+            signal = Signal(name="write-drained")
+            self._waiters.append(signal)
+            yield Wait(signal)
+        return [WriteResult(op.kind, op.element, op.ok, op.error)
+                for op in self._ops]
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+    def _worker(self) -> Generator:
+        while not self._stopped:
+            batch = self._next_batch()
+            if batch is None:
+                if self._sealed and self._exhausted():
+                    return
+                signal = Signal(name="write-work")
+                self._idle.append(signal)
+                yield Wait(signal)
+                continue
+            kind, ops = batch
+            self._active += len(ops)
+            try:
+                if kind == "put":
+                    yield from self._execute_puts(ops)
+                elif kind == "add":
+                    yield from self._execute_add_members(ops)
+                else:
+                    yield from self._execute_remove_members(ops)
+            finally:
+                self._active -= len(ops)
+            self._kick_workers()
+
+    def _exhausted(self) -> bool:
+        return (not self._put_todo and not self._member_todo
+                and not self._remove_todo and self._active == 0)
+
+    def _next_batch(self) -> Optional[tuple[str, list[_WriteOp]]]:
+        # Finish started work first: membership registrations complete
+        # operations (and free drain() waiters) fastest.
+        if self._member_todo:
+            return "add", self.planner.form(self._member_todo)
+        if self._remove_todo:
+            return "remove", self.planner.form(self._remove_todo)
+        if self._put_todo:
+            return "put", self.planner.form(self._put_todo)
+        return None
+
+    # -- stage 1: object puts, destination-coalesced, concurrent ---------
+    def _execute_puts(self, ops: list[_WriteOp]) -> Generator:
+        """Write a batch's object copies: one ``put_objects`` per
+        destination, every destination in flight at once, barrier-joined.
+        Fully-acked adds advance to the membership stage; any element
+        with a failed destination settles failed after best-effort
+        cleanup of the copies that did land."""
+        groups = self.planner.put_groups(ops)
+        issued_at = self.world.now
+        self._m_calls.value += len(groups)
+        self._m_elements.value += len(ops)
+        self._m_size.observe(len(ops))
+        self._m_fanout.observe(len(groups))
+        span = self._tracer.start("write.batch", kind="put", n=len(ops),
+                                  fanout=len(groups))
+        outcomes: dict[NodeId, Optional[FailureException]] = {}
+        if len(groups) == 1:
+            dest, entries = next(iter(groups.items()))
+            self._m_coalesced.value += len(entries) - 1
+            yield from self._put_child(dest, entries, outcomes)
+        else:
+            children = []
+            for dest, entries in sorted(groups.items()):
+                self._m_coalesced.value += len(entries) - 1
+                child = yield Fork(
+                    self._put_child(dest, entries, outcomes),
+                    name=f"{self.name}-put-{dest}", daemon=True)
+                children.append(child)
+            for child in children:        # the barrier
+                yield Join(child)
+        self._tracer.finish(
+            span, failed=sum(1 for e in outcomes.values() if e is not None))
+        self._m_latency.observe(self.world.now - issued_at)
+        for op in ops:
+            failures = [(dest, outcomes[dest]) for dest in op.element.locations
+                        if outcomes[dest] is not None]
+            if not failures:
+                self._member_todo.append(op)
+                continue
+            placed = tuple(dest for dest in op.element.locations
+                           if outcomes[dest] is None)
+            yield from self.repo._cleanup_orphans(op.element, placed)
+            self._settle(op, ok=False, error=failures[0][1])
+
+    def _put_child(self, dest: NodeId,
+                   entries: list[tuple[ObjectId, Any, int]],
+                   outcomes: dict) -> Generator:
+        try:
+            yield from self.repo._call(dest, "put_objects", tuple(entries))
+        except FailureException as exc:
+            outcomes[dest] = exc
+            return
+        outcomes[dest] = None
+
+    # -- stage 2: membership registration, group-committed ----------------
+    def _execute_add_members(self, ops: list[_WriteOp]) -> Generator:
+        primary = self.repo.primary_of(self.coll_id)
+        elements = tuple(op.element for op in ops)
+        self._m_calls.value += 1
+        self._m_elements.value += len(ops)
+        self._m_coalesced.value += len(ops) - 1
+        self._m_size.observe(len(ops))
+        span = self._tracer.start("write.batch", kind="add",
+                                  host=str(primary), n=len(ops))
+        try:
+            yield from self.repo._call(primary, "add_members",
+                                       self.coll_id, elements)
+        except (FailureException, StoreError) as exc:
+            self._tracer.finish(span, outcome=type(exc).__name__)
+            # Ambiguous (lost ack) or rejected (name conflict fails the
+            # whole batch): resolve toward deletion — see module
+            # docstring for why cleanup-vs-rollforward races converge.
+            for op in ops:
+                yield from self.repo._cleanup_orphans(
+                    op.element, op.element.locations)
+                self._settle(op, ok=False, error=exc)
+            return
+        self._tracer.finish(span, outcome="ok")
+        self._m_latency.observe(span.duration)
+        for op in ops:
+            self._settle(op, ok=True)
+
+    def _execute_remove_members(self, ops: list[_WriteOp]) -> Generator:
+        primary = self.repo.primary_of(self.coll_id)
+        elements = tuple(op.element for op in ops)
+        self._m_calls.value += 1
+        self._m_elements.value += len(ops)
+        self._m_coalesced.value += len(ops) - 1
+        self._m_size.observe(len(ops))
+        span = self._tracer.start("write.batch", kind="remove",
+                                  host=str(primary), n=len(ops))
+        try:
+            yield from self.repo._call(primary, "remove_members",
+                                       self.coll_id, elements)
+        except (FailureException, StoreError) as exc:
+            self._tracer.finish(span, outcome=type(exc).__name__)
+            # Removal is idempotent; the server commits any fully-erased
+            # prefix, so a plain retry of the same elements is safe.
+            for op in ops:
+                self._settle(op, ok=False, error=exc)
+            return
+        self._tracer.finish(span, outcome="ok")
+        self._m_latency.observe(span.duration)
+        for op in ops:
+            self._settle(op, ok=True)
+
+    # ------------------------------------------------------------------
+    def _settle(self, op: _WriteOp, *, ok: bool,
+                error: Optional[BaseException] = None) -> None:
+        if op.done:
+            return
+        op.done = True
+        op.ok = ok
+        op.error = error
+        if ok:
+            self._m_acked.value += 1
+            if op.kind == "add":
+                self.added += 1
+            else:
+                self.removed += 1
+        else:
+            self._m_failed.value += 1
+            self.failed += 1
+        waiters, self._waiters = self._waiters, []
+        for signal in waiters:
+            if not signal.fired:
+                signal.fire(None)
+
+    def _kick_workers(self) -> None:
+        idle, self._idle = self._idle, []
+        for signal in idle:
+            if not signal.fired:
+                signal.fire(None)
+
+    def __repr__(self) -> str:
+        return (f"WritePipeline({self.name}, coll={self.coll_id!r}, "
+                f"window={self.window}, batch={self.batch_size}, "
+                f"added={self.added}, removed={self.removed}, "
+                f"failed={self.failed})")

@@ -23,8 +23,10 @@ from ..sim.events import Sleep
 from ..sim.kernel import Kernel
 from ..store.repository import Repository
 from ..store.world import World
+from ..store.writeplan import AddSpec
 
-__all__ = ["ScenarioSpec", "Scenario", "Mutator", "build_scenario"]
+__all__ = ["ScenarioSpec", "Scenario", "Mutator", "build_scenario",
+           "member_plan"]
 
 
 @dataclass(frozen=True)
@@ -52,6 +54,11 @@ class ScenarioSpec:
     rpc_timeout: float = 5.0                # the timeout backstop
     recovery_enabled: bool = True           # WAL + replay + scrub (E18 ablation)
     scrub_interval: float = 2.0             # repair daemon period
+    rpc_populate: bool = False              # seed members over RPC from the
+                                            # client (batched write pipeline)
+                                            # instead of God-mode seeding
+    populate_window: int = 4                # write-pipeline dials used when
+    populate_batch: int = 8                 # rpc_populate is on
 
     @property
     def client(self) -> NodeId:
@@ -111,8 +118,42 @@ def build_scenario(spec: ScenarioSpec, seed: int = 0) -> Scenario:
     replica_nodes = [f"n{c}.0" for c in range(1, 1 + spec.replicas)]
     world.create_collection(spec.coll_id, primary=spec.primary,
                             replicas=replica_nodes, policy=spec.policy)
+    plan = member_plan(spec, kernel)
+    if spec.rpc_populate:
+        # Populate like an honest client would: batched multi-puts with
+        # concurrent replica fan-out, group-committed registrations.
+        repo = Repository(world, spec.client)
+        elements = kernel.run_process(repo.add_many(
+            spec.coll_id, plan, window=spec.populate_window,
+            batch_size=spec.populate_batch))
+    else:
+        # God-mode: instant, free — the default, so experiments that
+        # measure *other* phases keep their calibrated timings.
+        elements = [world.seed_member(
+            spec.coll_id, s.name, value=s.value,
+            home=s.home, size=s.size, replicas=s.replicas,
+        ) for s in plan]
+    if spec.policy == "immutable":
+        world.seal(spec.coll_id)
+    scenario = Scenario(spec=spec, kernel=kernel, net=net, world=world,
+                        elements=elements)
+    if spec.fault_plan is not None:
+        scenario.injector = FaultInjector(net, spec.fault_plan)
+        scenario.injector.start()
+    return scenario
+
+
+def member_plan(spec: ScenarioSpec, kernel: Kernel) -> list[AddSpec]:
+    """The deterministic member placement a spec describes.
+
+    Draws from the kernel's ``"workload.placement"`` stream in exactly
+    the order the God-mode seeder always has, so the same seed yields
+    the same placements whether a world is seeded instantly, populated
+    over RPC (``rpc_populate``), or populated by a benchmark measuring
+    the write path itself.
+    """
     stream = kernel.stream("workload.placement")
-    elements = []
+    plan: list[AddSpec] = []
     for i in range(spec.n_members):
         cluster = stream.zipf_index(spec.n_clusters, spec.placement_skew)
         node_index = stream.randint(0, spec.cluster_size - 1)
@@ -125,18 +166,10 @@ def build_scenario(spec: ScenarioSpec, seed: int = 0) -> Scenario:
             for k in range(1, 1 + min(spec.object_replicas,
                                       spec.n_clusters - 1))
         )
-        elements.append(world.seed_member(
-            spec.coll_id, f"m{i:04d}", value=f"payload-{i}",
-            home=home, size=spec.member_size, replicas=object_replicas,
-        ))
-    if spec.policy == "immutable":
-        world.seal(spec.coll_id)
-    scenario = Scenario(spec=spec, kernel=kernel, net=net, world=world,
-                        elements=elements)
-    if spec.fault_plan is not None:
-        scenario.injector = FaultInjector(net, spec.fault_plan)
-        scenario.injector.start()
-    return scenario
+        plan.append(AddSpec(name=f"m{i:04d}", value=f"payload-{i}",
+                            home=home, size=spec.member_size,
+                            replicas=object_replicas))
+    return plan
 
 
 class Mutator:
@@ -184,12 +217,18 @@ class Mutator:
                         for k in range(1, 1 + min(spec.object_replicas,
                                                   spec.n_clusters - 1))
                     )
-                    element = yield from self.repo.add(
-                        spec.coll_id, f"added-{i:04d}",
-                        value=f"added-payload-{i}", home=node,
-                        size=spec.member_size, replicas=replicas,
+                    # One-spec batch through the write pipeline: same
+                    # RPC sequence as repo.add, but with the replica
+                    # fan-out concurrent and the registration group-
+                    # committed — the path real bulk writers take.
+                    added = yield from self.repo.add_many(
+                        spec.coll_id,
+                        [AddSpec(f"added-{i:04d}",
+                                 value=f"added-payload-{i}", home=node,
+                                 size=spec.member_size, replicas=replicas)],
+                        window=1, batch_size=1,
                     )
-                    self.added.append(element)
+                    self.added.extend(added)
                 else:
                     current = sorted(
                         self.scenario.world.true_members(spec.coll_id),

@@ -75,6 +75,18 @@ class WeakSet:
         """``add``: register a new member (object created at its home)."""
         return (yield from self.repo.add(self.coll_id, name, value, home, size))
 
+    def add_many(self, specs, *, window: int = 4, batch_size: int = 8
+                 ) -> Generator[Any, Any, list[Element]]:
+        """Bulk ``add`` through the batched write pipeline.
+
+        ``specs`` are :class:`~repro.store.writeplan.AddSpec` entries
+        (bare strings mean "name only").  Same semantics as a sequence
+        of ``add`` calls — every element's copies exist before it
+        becomes visible — at a fraction of the round trips.
+        """
+        return (yield from self.repo.add_many(
+            self.coll_id, specs, window=window, batch_size=batch_size))
+
     def remove(self, element: Element) -> Generator[Any, Any, None]:
         """``remove``: delete a member (policy permitting)."""
         yield from self.repo.remove(self.coll_id, element)

@@ -180,6 +180,60 @@ def test_compare_bad_schema_exits_two(tmp_path):
     assert main(["compare", a, str(bad)]) == 2
 
 
+def test_compare_improvement_passes_but_is_flagged(tmp_path, capsys):
+    """A latency that *shrank* beyond tolerance is baseline rot, not a
+    regression: exit 0, but the gate says to regenerate the baseline."""
+    old = write_fake_artifact(tmp_path / "old.json", latency=1.0)
+    new = write_fake_artifact(tmp_path / "new.json", latency=0.4)
+    assert main(["compare", old, new, "--tolerance", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "IMPROVED" in out
+    assert "regenerate the baseline" in out
+    assert "FAIL" not in out
+
+
+def test_compare_improvement_does_not_mask_regressions(tmp_path, capsys):
+    """One metric improving while another regresses still fails."""
+    old = write_fake_artifact(tmp_path / "old.json", latency=1.0, spec="fig3")
+    new = write_fake_artifact(tmp_path / "new.json", latency=0.4, spec="fig4")
+    assert main(["compare", old, new, "--tolerance", "0.1"]) == 1
+    out = capsys.readouterr().out
+    assert "IMPROVED" in out and "FAIL" in out
+
+
+def test_metric_direction_heuristic():
+    from repro.bench.compare import metric_direction
+    assert metric_direction("total_time") == "lower"
+    assert metric_direction("p99_latency") == "lower"
+    assert metric_direction("fig4_viol") == "lower"
+    assert metric_direction("speedup_vs_serial") == "higher"
+    # ambiguous names resolve lower-better first — a cost-ish marker must
+    # never be read as good just because 'yield' also appears
+    assert metric_direction("bytes_yielded") == "lower"
+    assert metric_direction("cache_hits") == "higher"
+    assert metric_direction("version") == "neutral"
+
+
+def test_compare_neutral_field_moves_are_regressions_both_ways(tmp_path):
+    """A direction-less numeric field failing tolerance regresses no
+    matter which way it moved."""
+    from repro.bench.artifact import write_artifact
+    from repro.bench.compare import compare_artifacts, load_artifact
+
+    def art(path, version):
+        records = [{"id": "E98", "title": "fake", "columns": ["version"],
+                    "rows": [{"version": version}], "notes": ""}]
+        write_artifact(path, records)
+        return load_artifact(path)
+
+    old = art(tmp_path / "old.json", 10)
+    for new_value in (3, 30):
+        new = art(tmp_path / f"new{new_value}.json", new_value)
+        regressions, improvements, _ = compare_artifacts(old, new,
+                                                         tolerance=0.1)
+        assert regressions and not improvements
+
+
 def test_compare_baseline_against_current_e17_schema(tmp_path):
     """The committed CI baseline stays loadable and self-consistent."""
     from pathlib import Path

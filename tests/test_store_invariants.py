@@ -86,10 +86,13 @@ def test_invariants_hold_after_churn_with_faults():
     mutator.start()
     scenario.kernel.run(until=60.0)
     scenario.injector.stop()
-    # quiesce: stop mutation, heal, settle replication
+    # quiesce: stop mutation, heal, settle replication — long enough for
+    # the repair daemon's orphan-GC grace period (ORPHAN_GRACE_ROUNDS
+    # scrub rounds) to elapse and a further round to collect, so a failed
+    # add whose cleanup could not reach an isolated home is reclaimed
     for proc in scenario.kernel.processes():
         if proc.name == "mutator":
             proc._kill()
     scenario.net.heal()
-    scenario.kernel.run(until=scenario.kernel.now + 5.0)
+    scenario.kernel.run(until=scenario.kernel.now + 12.0)
     assert scenario.world.check_invariants() == []
