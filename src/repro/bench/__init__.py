@@ -1,4 +1,4 @@
-"""The evaluation harness: experiments E1–E20 (see DESIGN.md §5).
+"""The evaluation harness: experiments E1–E21 (see DESIGN.md §5).
 
 Each ``run_*`` function builds its worlds, runs the simulation, and
 returns an :class:`~repro.bench.report.ExperimentResult` whose ``str()``
@@ -8,6 +8,12 @@ wraps each one in a pytest-benchmark target with shape assertions.
 
 from .exp_availability import run_availability, run_availability_ablation
 from .exp_conformance import IMPL_CASES, run_conformance_matrix
+from .exp_disconnected import (
+    run_disconnected,
+    run_geo_flap,
+    run_outbox_crash,
+    run_reconcile_cost,
+)
 from .exp_federation import run_federation
 from .exp_consistency import run_cache_ablation, run_staleness
 from .exp_convergence import run_convergence
@@ -47,15 +53,19 @@ __all__ = [
     "run_conformance_matrix",
     "run_convergence",
     "run_detector",
+    "run_disconnected",
     "run_disconnection",
     "run_federation",
     "run_early_exit",
+    "run_geo_flap",
     "run_fetchpipe",
     "run_ghosts",
     "run_lock_cost",
     "run_motivating",
     "run_obs",
+    "run_outbox_crash",
     "run_prefetch",
+    "run_reconcile_cost",
     "run_recovery",
     "run_resilience",
     "run_reachability",
@@ -93,4 +103,8 @@ ALL_EXPERIMENTS = {
     "E18": run_recovery,
     "E19": run_fetchpipe,
     "E20": run_writepipe,
+    "E21": run_disconnected,
+    "E21a": run_reconcile_cost,
+    "E21b": run_outbox_crash,
+    "E21c": run_geo_flap,
 }

@@ -22,6 +22,7 @@ __all__ = [
     "LinkDownFailure",
     "PartitionFailure",
     "UnreachableObjectFailure",
+    "DisconnectedError",
     "LockUnavailableFailure",
     "CircuitOpenFailure",
     "SimulationError",
@@ -95,6 +96,20 @@ class UnreachableObjectFailure(FailureException):
     """
 
     def __init__(self, reason: str = "object unreachable"):
+        super().__init__(reason)
+
+
+class DisconnectedError(UnreachableObjectFailure):
+    """The *client itself* is in DISCONNECTED state.
+
+    A distinct subclass of :class:`UnreachableObjectFailure` so offline
+    reads fail fast — no object is reachable by construction, so there
+    is nothing to gain from retrying until ``give_up_after``.  Raised
+    synchronously (zero simulated time) by the repository's RPC funnel
+    while its :class:`~repro.store.offline.OfflineClient` is offline.
+    """
+
+    def __init__(self, reason: str = "client disconnected"):
         super().__init__(reason)
 
 

@@ -24,7 +24,8 @@ from .resilience import (
     TRANSPORT_FAILURES,
 )
 from .stats import NetworkStats, NodeStats
-from .topology import Topology, full_mesh, line, random_graph, ring, star, wan_clusters
+from .topology import (Topology, datacenter_groups, full_mesh, line,
+                       multi_datacenter, random_graph, ring, star, wan_clusters)
 from .transport import Transport
 
 __all__ = [
@@ -55,8 +56,10 @@ __all__ = [
     "Topology",
     "Transport",
     "UniformLatency",
+    "datacenter_groups",
     "full_mesh",
     "line",
+    "multi_datacenter",
     "random_graph",
     "ring",
     "star",

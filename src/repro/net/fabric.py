@@ -200,6 +200,14 @@ class Network:
         self.partitions.rejoin(node)
         self._notify()
 
+    def isolate_group(self, nodes) -> None:
+        self.partitions.isolate_group(nodes)
+        self._notify()
+
+    def rejoin_group(self, nodes) -> None:
+        self.partitions.rejoin_group(nodes)
+        self._notify()
+
     def heal(self) -> None:
         self.partitions.heal()
         self._notify()

@@ -45,6 +45,16 @@ class FaultSchedule:
     def rejoin_at(self, time: float, node: NodeId) -> "FaultSchedule":
         return self.at(time, lambda net: net.rejoin(node))
 
+    def isolate_group_at(self, time: float, nodes) -> "FaultSchedule":
+        """Correlated partition: a whole group (e.g. one datacenter)
+        splits off together, keeping its intra-group connectivity."""
+        group = tuple(nodes)
+        return self.at(time, lambda net: net.isolate_group(group))
+
+    def rejoin_group_at(self, time: float, nodes) -> "FaultSchedule":
+        group = tuple(nodes)
+        return self.at(time, lambda net: net.rejoin_group(group))
+
     def cut_link_at(self, time: float, a: NodeId, b: NodeId) -> "FaultSchedule":
         return self.at(time, lambda net: net.cut_link(a, b))
 
@@ -90,11 +100,19 @@ class FaultPlan:
     #: that step (the crash window wall-clock injection can only graze).
     wal_crash_rate: float = 0.0
     wal_crash_steps: tuple[str, ...] = ("home-deleted",)
+    #: rate of *correlated* partitions, per group: one of ``dc_groups``
+    #: (e.g. a whole datacenter) splits off together — intra-group
+    #: connectivity survives, everything across the cut does not — and
+    #: heals after an exponential downtime.  Groups containing a
+    #: protected node are never picked.
+    dc_partition_rate: float = 0.0
+    dc_groups: tuple[tuple[NodeId, ...], ...] = ()
 
     def total_rate(self, n_nodes: int, n_links: int) -> float:
         return (self.crash_rate * n_nodes
                 + self.isolate_rate * n_nodes
                 + self.wal_crash_rate * n_nodes
+                + self.dc_partition_rate * len(self.dc_groups)
                 + self.link_cut_rate * n_links)
 
 
@@ -137,6 +155,7 @@ class FaultInjector:
             crash_share = self.plan.crash_rate * len(nodes)
             isolate_share = self.plan.isolate_rate * len(nodes)
             wal_share = self.plan.wal_crash_rate * len(nodes)
+            dc_share = self.plan.dc_partition_rate * len(self.plan.dc_groups)
             if r < crash_share:
                 node = self.stream.choice(nodes)
                 if self.net.node(node).up:
@@ -150,6 +169,12 @@ class FaultInjector:
                     node = self.stream.choice(candidates)
                     step = self.stream.choice(list(self.plan.wal_crash_steps))
                     self._arm_wal_crash(node, step)
+            elif r < crash_share + isolate_share + wal_share + dc_share:
+                groups = [g for g in self.plan.dc_groups
+                          if not set(g) & self.plan.protected]
+                if groups:
+                    group = self.stream.choice(groups)
+                    yield Fork(self._partition_then_heal(group), "", True)
             elif links:
                 link = self.stream.choice(links)
                 if link.up:
@@ -203,6 +228,12 @@ class FaultInjector:
         self.net.isolate(node)
         yield Sleep(self._downtime())
         self.net.rejoin(node)
+
+    def _partition_then_heal(self, group: tuple[NodeId, ...]) -> Generator:
+        self.injected.append((self.net.now, "dc-partition", ",".join(group)))
+        self.net.isolate_group(group)
+        yield Sleep(self._downtime())
+        self.net.rejoin_group(group)
 
     def _cut_then_restore(self, a: NodeId, b: NodeId) -> Generator:
         self.injected.append((self.net.now, "cut", f"{a}<->{b}"))

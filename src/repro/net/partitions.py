@@ -88,6 +88,15 @@ class PartitionManager:
         """Disconnect one node (the traveling mobile client)."""
         self.split([node])
 
+    def isolate_group(self, nodes: Iterable[NodeId]) -> None:
+        """Correlated partition: split a whole group (e.g. one
+        datacenter) off together — intra-group connectivity survives."""
+        self.split(list(nodes))
+
+    def rejoin_group(self, nodes: Iterable[NodeId]) -> None:
+        """Merge a previously isolated group back into the main group."""
+        self.heal(nodes)
+
     def rejoin(self, node: NodeId) -> None:
         """Bring one node back into the main group."""
         if node not in self._group:

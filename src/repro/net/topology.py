@@ -25,7 +25,7 @@ from .address import NodeId
 from .link import FixedLatency, LatencyModel, Link
 
 __all__ = ["Topology", "full_mesh", "star", "line", "ring", "random_graph",
-           "wan_clusters"]
+           "wan_clusters", "multi_datacenter", "datacenter_groups"]
 
 
 class Topology:
@@ -298,3 +298,48 @@ def wan_clusters(cluster_sizes: list[int],
         for b in heads[i + 1:]:
             topo.add_link(a, b, inter)
     return topo
+
+
+def multi_datacenter(dc_sizes: list[int],
+                     intra_latency: Optional[LatencyModel] = None,
+                     inter_latency: Optional[LatencyModel] = None,
+                     prefix: str = "dc",
+                     gateways: int = 2) -> Topology:
+    """Geo-replicated datacenters: fast inside, slow between, redundant.
+
+    The geo variant of :func:`wan_clusters` for the disconnected-
+    operation experiments.  Each datacenter is a full mesh of fast
+    links; each *pair* of datacenters is joined by up to ``gateways``
+    parallel slow links (gateway ``k`` of one DC to gateway ``k`` of
+    the other), so a single gateway crash degrades inter-DC latency
+    paths without partitioning — only a correlated whole-DC fault (the
+    :class:`~repro.net.failures.FaultPlan` ``dc_partition_rate`` dial)
+    splits the world.  Node names are ``{prefix}{d}.{i}``.
+    """
+    intra = intra_latency or FixedLatency(0.002)
+    inter = inter_latency or FixedLatency(0.080)
+    topo = Topology()
+    dcs: list[list[NodeId]] = []
+    for d, size in enumerate(dc_sizes):
+        members = [f"{prefix}{d}.{i}" for i in range(size)]
+        for m in members:
+            topo.add_node(m)
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                topo.add_link(a, b, intra)
+        dcs.append(members)
+    for i, dc_a in enumerate(dcs):
+        for dc_b in dcs[i + 1:]:
+            for k in range(min(gateways, len(dc_a), len(dc_b))):
+                topo.add_link(dc_a[k], dc_b[k], inter)
+    return topo
+
+
+def datacenter_groups(dc_sizes: list[int], prefix: str = "dc"
+                      ) -> tuple[tuple[NodeId, ...], ...]:
+    """The node groups of a :func:`multi_datacenter` build, one tuple
+    per DC — the ``dc_groups`` a correlated-partition fault plan wants."""
+    return tuple(
+        tuple(f"{prefix}{d}.{i}" for i in range(size))
+        for d, size in enumerate(dc_sizes)
+    )

@@ -17,6 +17,7 @@ from .fetchplan import (
     order_closest_first,
     rank_hosts,
 )
+from .offline import OfflineClient, Outbox, OutboxEntry, ReconcileReport
 from .reachability import Figure2, figure2_world
 from .recovery import RecoveryManager, RepairDaemon
 from .repository import MembershipView, Repository
@@ -48,7 +49,11 @@ __all__ = [
     "MembershipView",
     "ObjectId",
     "ObjectServer",
+    "OfflineClient",
+    "Outbox",
+    "OutboxEntry",
     "POLICIES",
+    "ReconcileReport",
     "RecoveryManager",
     "RepairDaemon",
     "Repository",

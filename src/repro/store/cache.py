@@ -43,6 +43,20 @@ class ClientCache:
         self.hits += 1
         return value
 
+    def peek(self, key: Hashable, now: float) -> Optional[tuple[Any, float]]:
+        """Return ``(value, age)`` even past the TTL, or ``None`` if absent.
+
+        Stale-while-offline read: a DISCONNECTED client would rather have
+        an arbitrarily old value (with its age accounted for) than none.
+        Does not evict, does not touch LRU order, does not count as a
+        hit or miss — ordinary TTL accounting stays honest.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        stored_at, value = entry
+        return value, now - stored_at
+
     def put(self, key: Hashable, value: Any, now: float) -> None:
         if key in self._entries:
             del self._entries[key]

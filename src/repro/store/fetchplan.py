@@ -56,7 +56,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
 
-from ..errors import CircuitOpenFailure, FailureException, NoSuchObjectError
+from ..errors import (CircuitOpenFailure, DisconnectedError, FailureException,
+                      NoSuchObjectError)
 from ..net.address import NodeId
 from ..net.resilience import TRANSPORT_FAILURES
 from ..sim.events import Signal, Sleep, Wait
@@ -342,6 +343,20 @@ class FetchPipeline:
                     self.repo._m_cache_hits.value += 1
                     self._settle(FetchResult(
                         element, value=cached, fetched_at=self.world.now,
+                        issue_epoch=self._epoch, from_cache=True))
+                    continue
+            if self.repo.disconnected and self.repo.cache is not None:
+                # DISCONNECTED client: a stale cached value (past its
+                # TTL, with its age accounted for) beats an RPC that is
+                # known to fail — the only other option offline.
+                peeked = self.repo.cache.peek(("object", element.oid),
+                                              self.world.now)
+                if peeked is not None:
+                    value, age = peeked
+                    self.repo._m_stale_served.value += 1
+                    self.repo._m_stale_age.observe(age)
+                    self._settle(FetchResult(
+                        element, value=value, fetched_at=self.world.now,
                         issue_epoch=self._epoch, from_cache=True))
                     continue
             self._todo.append(element)
@@ -640,6 +655,15 @@ class FetchPipeline:
                 issue_epoch=self._epoch, detail=str(exc)))
             return
         now = self.world.now
+        if isinstance(exc, DisconnectedError):
+            # Engine mode, but the client is DISCONNECTED: no amount of
+            # retrying reaches anything until reconnect, so don't burn
+            # the give_up_after budget in simulated retry time.
+            self.gave_up += 1
+            self._settle(FetchResult(
+                element, status="unreachable", fetched_at=now,
+                issue_epoch=self._epoch, detail=f"disconnected: {exc}"))
+            return
         first = self._first_failure.setdefault(element.oid, now)
         if (self.give_up_after is not None
                 and now - first >= self.give_up_after):

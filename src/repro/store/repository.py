@@ -12,7 +12,8 @@ from __future__ import annotations
 import itertools
 from typing import Any, Generator, Iterable, Optional
 
-from ..errors import CircuitOpenFailure, FailureException, UnreachableObjectFailure
+from ..errors import (CircuitOpenFailure, DisconnectedError, FailureException,
+                      UnreachableObjectFailure)
 from ..net.address import NodeId
 from ..net.resilience import TRANSPORT_FAILURES, ResilientClient
 from .cache import ClientCache
@@ -58,6 +59,7 @@ class Repository:
         self.cache = cache
         self.rpc_timeout = rpc_timeout
         self.resilience = resilience
+        self.offline = None               # set by OfflineClient.attach
         self.obs = self.net.kernel.obs
         metrics = self.obs.metrics
         self._m_fetch_latency = metrics.histogram("repo.fetch_latency")
@@ -65,6 +67,13 @@ class Repository:
         self._m_membership_reads = metrics.counter("repo.membership_reads")
         self._m_membership_age = metrics.histogram("repo.membership_age")
         self._m_orphan_cleanups = metrics.counter("write.orphan_cleanups")
+        self._m_stale_served = metrics.counter("offline.stale_served")
+        self._m_stale_age = metrics.histogram("offline.read_age")
+
+    @property
+    def disconnected(self) -> bool:
+        """True while an attached OfflineClient is in DISCONNECTED state."""
+        return self.offline is not None and self.offline.disconnected
 
     # ------------------------------------------------------------------
     # host selection
@@ -103,6 +112,8 @@ class Repository:
         node name.
         """
         self._m_membership_reads.value += 1
+        if self.disconnected:
+            return self._stale_membership(coll_id)
         if use_cache and self.cache is not None:
             cached = self.cache.get(("membership", coll_id), self.world.now)
             if cached is not None:
@@ -143,6 +154,37 @@ class Repository:
             self.cache.put(("membership", coll_id), view, self.world.now)
         return view
 
+    # -- stale-while-offline serving -----------------------------------
+    def _stale_membership(self, coll_id: str) -> MembershipView:
+        """DISCONNECTED read: serve the cached view however old it is.
+
+        Explicit disconnected operation trumps both TTL and the caller's
+        ``use_cache``/``source`` choice — the network is *known* to be
+        absent, so the only alternatives are a stale answer (with its
+        age accounted for) or an immediate :class:`DisconnectedError`.
+        """
+        if self.cache is not None:
+            peeked = self.cache.peek(("membership", coll_id), self.world.now)
+            if peeked is not None:
+                view, age = peeked
+                self._m_stale_served.value += 1
+                self._m_stale_age.observe(age)
+                self._m_membership_age.observe(age)
+                return view
+        raise DisconnectedError(
+            f"disconnected and no cached membership for {coll_id!r}")
+
+    def _stale_object(self, element: Element) -> Any:
+        if self.cache is not None:
+            peeked = self.cache.peek(("object", element.oid), self.world.now)
+            if peeked is not None:
+                value, age = peeked
+                self._m_stale_served.value += 1
+                self._m_stale_age.observe(age)
+                return value
+        raise DisconnectedError(
+            f"disconnected and no cached value for {element.name!r}")
+
     def fetch(self, element: Element, *, use_cache: bool = False,
               failover: bool = False) -> Generator[Any, Any, Any]:
         """Fetch an element's data object, preferring its home node.
@@ -162,6 +204,8 @@ class Repository:
         authoritative "removed" answer and must propagate, or the
         iterator would resurrect deleted members from stale replicas.
         """
+        if self.disconnected:
+            return self._stale_object(element)
         if use_cache and self.cache is not None:
             cached = self.cache.get(("object", element.oid), self.world.now)
             if cached is not None:
@@ -383,6 +427,12 @@ class Repository:
 
     # ------------------------------------------------------------------
     def _call(self, host: NodeId, method: str, *args: Any) -> Generator[Any, Any, Any]:
+        if self.disconnected:
+            # Fail fast in zero simulated time: while DISCONNECTED, no
+            # retry/backoff budget is worth burning — the client *chose*
+            # to be off the network.
+            raise DisconnectedError(
+                f"{self.client} is disconnected (call to {host}.{method})")
         if self.resilience is not None:
             return (yield from self.resilience.call(
                 self.client, host, ObjectServer.SERVICE, method, *args,
@@ -396,6 +446,9 @@ class Repository:
     def _call_once(self, host: NodeId, method: str, *args: Any) -> Generator[Any, Any, Any]:
         """Single-attempt call (the failover loop's alternates *are* the
         retry; backing off between replicas would burn the budget)."""
+        if self.disconnected:
+            raise DisconnectedError(
+                f"{self.client} is disconnected (call to {host}.{method})")
         if self.resilience is not None:
             return (yield from self.resilience.call(
                 self.client, host, ObjectServer.SERVICE, method, *args,

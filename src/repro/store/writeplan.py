@@ -76,6 +76,11 @@ class AddSpec:
     home: Optional[NodeId] = None     # None: the collection's primary
     size: int = 0
     replicas: tuple[NodeId, ...] = ()
+    oid: Optional[ObjectId] = None    # None: mint a fresh oid at submit
+    # A caller-supplied oid makes resubmission idempotent: the offline
+    # outbox mints the element once at queue time, so a crash-interrupted
+    # reconcile can replay the same spec without creating a duplicate
+    # (the server's add_members skips an identical existing member).
 
 
 @dataclass(frozen=True)
@@ -230,11 +235,11 @@ class WritePipeline:
         home = spec.home if spec.home is not None \
             else self.repo.primary_of(self.coll_id)
         replicas = tuple(r for r in spec.replicas if r != home)
-        element = Element(name=spec.name, oid=fresh_oid(spec.name),
-                          home=home, replicas=replicas)
+        oid = spec.oid if spec.oid is not None else fresh_oid(spec.name)
+        element = Element(name=spec.name, oid=oid, home=home, replicas=replicas)
         op = _WriteOp(index=len(self._ops), kind="add", element=element,
                       spec=AddSpec(spec.name, spec.value, home, spec.size,
-                                   replicas))
+                                   replicas, oid))
         self._ops.append(op)
         self._put_todo.append(op)
         self._kick_workers()

@@ -94,6 +94,8 @@ class DynamicIterator(ElementsIterator):
                         # No membership host reachable: blocked at the
                         # view layer.  Optimism waits here too, on the
                         # same give_up_after budget as blocked fetches.
+                        if self.repo.disconnected:
+                            return self._disconnected_failure()
                         now = self.repo.world.now
                         if blocked_since is None:
                             blocked_since = now
@@ -130,6 +132,8 @@ class DynamicIterator(ElementsIterator):
             # Optimistic blocking: members exist but cannot be reached.
             # Sleeping with the pipeline empty means the next lap re-reads
             # a view and resubmits the blocked members — a fresh attempt.
+            if self.repo.disconnected:
+                return self._disconnected_failure()
             now = self.repo.world.now
             if blocked_since is None:
                 blocked_since = now
@@ -156,6 +160,8 @@ class DynamicIterator(ElementsIterator):
                 except FailureException:
                     # Blocked at the view layer: wait it out on the same
                     # give_up_after budget as blocked probes below.
+                    if self.repo.disconnected:
+                        return self._disconnected_failure()
                     now = self.repo.world.now
                     if blocked_since is None:
                         blocked_since = now
@@ -187,6 +193,8 @@ class DynamicIterator(ElementsIterator):
                     return Returned()
                 forced_view = fresh_remaining
                 continue
+            if self.repo.disconnected:
+                return self._disconnected_failure()
             now = self.repo.world.now
             if blocked_since is None:
                 blocked_since = now
@@ -200,6 +208,15 @@ class DynamicIterator(ElementsIterator):
             yield Sleep(self.retry_interval)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _disconnected_failure() -> Failed:
+        """Fail fast while the client is DISCONNECTED: the network is
+        *known* absent (an explicit client state, not a suspected
+        fault), so optimistic retrying can only burn simulated time —
+        no later invocation can reach anything until reconnect."""
+        return Failed("client disconnected: offline read failed fast "
+                      "instead of retrying until give_up_after")
+
     def _best_view(self) -> Generator[Any, Any, frozenset[Element]]:
         """Membership from the nearest reachable host (optimistic read).
 
@@ -214,9 +231,10 @@ class DynamicIterator(ElementsIterator):
                     self.coll_id, source="nearest", use_cache=self.use_cache)
                 return view.members
             except FailureException:
-                if self.give_up_after is not None:
-                    # Bounded mode: surface the block to the outer loop by
-                    # raising; invoke() turns it into Failed.
+                if self.give_up_after is not None or self.repo.disconnected:
+                    # Bounded mode (or an explicitly DISCONNECTED client,
+                    # which never benefits from waiting): surface the
+                    # block to the outer loop by raising.
                     raise
                 self.retries += 1
                 yield Sleep(self.retry_interval)
