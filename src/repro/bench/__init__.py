@@ -1,4 +1,4 @@
-"""The evaluation harness: experiments E1–E21 (see DESIGN.md §5).
+"""The evaluation harness: experiments E1–E22 (see DESIGN.md §5).
 
 Each ``run_*`` function builds its worlds, runs the simulation, and
 returns an :class:`~repro.bench.report.ExperimentResult` whose ``str()``
@@ -29,6 +29,7 @@ from .exp_latency import (
 from .exp_locking import run_disconnection, run_lock_cost
 from .exp_motivating import run_motivating
 from .exp_obs import run_obs
+from .exp_population import run_kernel_throughput, run_population
 from .exp_recovery import run_recovery
 from .exp_resilience import run_resilience
 from .exp_scale import run_scale
@@ -59,11 +60,13 @@ __all__ = [
     "run_early_exit",
     "run_geo_flap",
     "run_fetchpipe",
+    "run_kernel_throughput",
     "run_ghosts",
     "run_lock_cost",
     "run_motivating",
     "run_obs",
     "run_outbox_crash",
+    "run_population",
     "run_prefetch",
     "run_reconcile_cost",
     "run_recovery",
@@ -107,4 +110,6 @@ ALL_EXPERIMENTS = {
     "E21a": run_reconcile_cost,
     "E21b": run_outbox_crash,
     "E21c": run_geo_flap,
+    "E22": run_population,
+    "E22a": run_kernel_throughput,
 }

@@ -18,7 +18,6 @@ involvement, so simulated code factors into functions naturally.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
 from ..errors import SimulationError
@@ -100,18 +99,26 @@ class Signal:
         return f"Signal({self.name!r}, {state})"
 
 
-@dataclass(frozen=True)
+# Effects are deliberately plain ``__slots__`` classes rather than
+# (frozen) dataclasses: one is allocated per kernel event, and a frozen
+# dataclass pays an ``object.__setattr__`` per field on every
+# construction — measurable at population scale (10⁵+ client sessions).
+
+
 class Sleep:
     """Suspend the yielding process for ``duration`` seconds."""
 
-    duration: float
+    __slots__ = ("duration",)
 
-    def __post_init__(self) -> None:
-        if self.duration < 0:
-            raise SimulationError(f"cannot sleep for negative time {self.duration}")
+    def __init__(self, duration: float):
+        if duration < 0:
+            raise SimulationError(f"cannot sleep for negative time {duration}")
+        self.duration = duration
+
+    def __repr__(self) -> str:
+        return f"Sleep({self.duration!r})"
 
 
-@dataclass(frozen=True)
 class Wait:
     """Suspend until ``signal`` fires, optionally bounded by ``timeout``.
 
@@ -120,24 +127,33 @@ class Wait:
     elapses first, :class:`repro.errors.TimeoutFailure` is thrown.
     """
 
-    signal: Signal
-    timeout: Optional[float] = None
+    __slots__ = ("signal", "timeout")
 
-    def __post_init__(self) -> None:
-        if self.timeout is not None and self.timeout < 0:
-            raise SimulationError(f"negative timeout {self.timeout}")
+    def __init__(self, signal: Signal, timeout: Optional[float] = None):
+        if timeout is not None and timeout < 0:
+            raise SimulationError(f"negative timeout {timeout}")
+        self.signal = signal
+        self.timeout = timeout
+
+    def __repr__(self) -> str:
+        return f"Wait({self.signal!r}, timeout={self.timeout!r})"
 
 
-@dataclass(frozen=True)
 class Fork:
     """Spawn ``generator`` as a new process; resume with its handle."""
 
-    generator: Generator
-    name: str = ""
-    daemon: bool = field(default=False)
+    __slots__ = ("generator", "name", "daemon")
+
+    def __init__(self, generator: Generator, name: str = "",
+                 daemon: bool = False):
+        self.generator = generator
+        self.name = name
+        self.daemon = daemon
+
+    def __repr__(self) -> str:
+        return f"Fork({self.name!r}, daemon={self.daemon})"
 
 
-@dataclass(frozen=True)
 class Join:
     """Suspend until ``process`` finishes; resume with its return value.
 
@@ -145,13 +161,23 @@ class Join:
     the joiner.  An optional timeout raises ``TimeoutFailure``.
     """
 
-    process: "Process"
-    timeout: Optional[float] = None
+    __slots__ = ("process", "timeout")
+
+    def __init__(self, process: "Process", timeout: Optional[float] = None):
+        self.process = process
+        self.timeout = timeout
+
+    def __repr__(self) -> str:
+        return f"Join({self.process!r}, timeout={self.timeout!r})"
 
 
-@dataclass(frozen=True)
 class Now:
     """Resume immediately with the current virtual time."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Now()"
 
 
 Effect = (Sleep, Wait, Fork, Join, Now)

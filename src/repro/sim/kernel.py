@@ -1,22 +1,42 @@
 """The deterministic discrete-event kernel.
 
-One :class:`Kernel` instance owns a virtual clock, a priority queue of
-scheduled actions, and a set of processes (Python generators).  The whole
+One :class:`Kernel` instance owns a virtual clock, a scheduler of
+pending actions, and a set of processes (Python generators).  The whole
 simulation is single-threaded: concurrency is *simulated* by interleaving
 process steps at their scheduled virtual times, so a run is exactly
 reproducible given (code, seed).
 
 Tie-breaking is by a monotonically increasing sequence number, so two
 actions scheduled for the same instant run in scheduling order —
-determinism does not depend on heap internals.
+determinism does not depend on container internals.  The scheduler
+structure itself is pluggable (see :mod:`repro.sim.sched`): the default
+is the timer-wheel/slotted-heap hybrid; ``Kernel(scheduler="heap")``
+selects the original binary heap, kept as the reference for
+differential determinism tests and throughput baselines.
+
+The event loop dispatches same-instant events as one *batch*: the
+scheduler surfaces every entry stamped with the next virtual time at
+once, and actions scheduled for the current instant during the batch
+(zero-delay process steps, message deliveries) append to the live batch
+instead of round-tripping through the scheduler.  Observable order is
+still strict ``(time, seq)``.
+
+Two hot-path conventions keep per-event cost down at population scale
+(10⁵+ clients): a scheduled entry's ``action`` is either a plain
+callable *or the Process itself* (meaning "advance this process"), so
+resuming a process costs no closure or ``partial`` allocation; and the
+no-``stop_when`` dispatch loop steps generators inline — the common
+``yield Sleep(...)`` never leaves the loop frame.  Every slow or
+re-entrant path still funnels through :meth:`Kernel._step`, which is
+the semantic reference for what one step means.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
+import os
 import time
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator, Optional, Union
 
 from ..errors import SimulationError, TimeoutFailure
 from ..obs import Observability
@@ -24,37 +44,35 @@ from .clock import Clock
 from .events import Fork, Join, Now, Signal, Sleep, Wait
 from .process import Process, ProcessState
 from .rng import RandomRouter, Stream
+from .sched import EventScheduler, _Scheduled, make_scheduler
 from .tracing import TraceLog
 
 __all__ = ["Kernel"]
 
-
-class _Scheduled:
-    """Heap entry: an action to run at a virtual time."""
-
-    __slots__ = ("time", "seq", "action", "cancelled")
-
-    def __init__(self, time: float, seq: int, action: Callable[[], None]):
-        self.time = time
-        self.seq = seq
-        self.action = action
-        self.cancelled = False
-
-    def __lt__(self, other: "_Scheduled") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+# Hot-path constants: enum attribute loads are not free at 10⁵ events/s.
+_RUNNING = ProcessState.RUNNING
+_WAITING = ProcessState.WAITING
 
 
 class Kernel:
     """Discrete-event scheduler driving generator-based processes."""
 
-    def __init__(self, seed: int = 0, trace: bool = False):
+    def __init__(self, seed: int = 0, trace: bool = False,
+                 scheduler: Union[str, EventScheduler, None] = None):
         self.clock = Clock()
         self.random = RandomRouter(seed)
         self.trace = TraceLog(enabled=trace, clock=self.clock)
-        self._queue: list[_Scheduled] = []
+        if scheduler is None:
+            scheduler = os.environ.get("REPRO_SIM_SCHED") or None
+        self._sched: EventScheduler = make_scheduler(scheduler)
         self._seq = itertools.count()
         self._processes: list[Process] = []
         self._running: Optional[Process] = None
+        # Live batch state: while run() drains an instant, zero-delay
+        # schedules append straight onto the batch being dispatched.
+        self._batch: list[_Scheduled] = []
+        self._batch_time = -1.0
+        self._dispatching = False
         # One observability surface per kernel: metrics + spans, timed by
         # the virtual clock, span parentage keyed by the running process.
         self.obs = Observability(self.clock, context_key=lambda: self._running)
@@ -72,6 +90,10 @@ class Kernel:
         return self.clock.now
 
     @property
+    def scheduler_name(self) -> str:
+        return self._sched.name
+
+    @property
     def current_process(self) -> Optional["Process"]:
         """The process whose generator is being stepped right now (the
         tracer's span-parentage context), or ``None`` between steps.
@@ -83,17 +105,29 @@ class Kernel:
         """Named deterministic random stream (see :mod:`repro.sim.rng`)."""
         return self.random.stream(name)
 
-    def spawn(self, generator: Generator, name: str = "", daemon: bool = False) -> Process:
-        """Create a process from ``generator`` and schedule its first step."""
+    def spawn(self, generator: Generator, name: str = "", daemon: bool = False,
+              transient: bool = False) -> Process:
+        """Create a process from ``generator`` and schedule its first step.
+
+        ``transient`` processes are not retained in the kernel's process
+        table: once finished they are garbage-collected with their
+        generator frames.  Population-scale workloads (10⁵+ short-lived
+        client sessions) spawn transient, so a run's memory stays
+        bounded by the *live* population, not the arrival count.
+        Transient processes do not appear in :meth:`processes` or
+        :meth:`blocked_processes`.
+        """
         if not hasattr(generator, "send"):
             raise SimulationError(
                 f"spawn() needs a generator, got {type(generator).__name__} "
                 "(did you forget to call the generator function?)"
             )
         proc = Process(generator, name=name, daemon=daemon)
-        self._processes.append(proc)
-        self.trace.record("spawn", process=proc.name)
-        self._schedule(0.0, lambda: self._step(proc))
+        if not transient:
+            self._processes.append(proc)
+        if self.trace.enabled:
+            self.trace.record("spawn", process=proc.name)
+        self._schedule(0.0, proc)
         return proc
 
     def call_soon(self, action: Callable[[], None], delay: float = 0.0) -> Callable[[], None]:
@@ -102,12 +136,7 @@ class Kernel:
         Returns a cancel function.  Used by the network layer to model
         message delivery without a full process per message.
         """
-        entry = self._schedule(delay, action)
-
-        def cancel() -> None:
-            entry.cancelled = True
-
-        return cancel
+        return self._schedule(delay, action).cancel
 
     def run(self, until: Optional[float] = None,
             stop_when: Optional[Callable[[], bool]] = None) -> None:
@@ -115,29 +144,114 @@ class Kernel:
         or ``stop_when()`` turns true between actions)."""
         wall_start = time.perf_counter()
         sim_start = self.clock.now
+        sched = self._sched
+        sched_push = sched.push
+        clock = self.clock
+        batch = self._batch
+        seq = self._seq
+        executed = 0
         try:
-            while self._queue:
+            while True:
                 if stop_when is not None and stop_when():
                     return
-                entry = self._queue[0]
-                if entry.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and entry.time > until:
-                    self.clock.advance_to(until)
+                next_time = sched.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    clock.advance_to(until)
                     return
-                heapq.heappop(self._queue)
-                self.clock.advance_to(entry.time)
-                self._m_events.value += 1
-                self._m_queue_depth.value = len(self._queue)
-                entry.action()
-            if until is not None and until > self.clock.now:
-                self.clock.advance_to(until)
+                sched.pop_batch(batch)
+                clock.advance_to(next_time)
+                self._batch_time = next_time
+                self._dispatching = True
+                index = 0
+                try:
+                    if stop_when is None:
+                        # Hot loop: `for` picks up entries appended to
+                        # the live batch mid-dispatch, and the common
+                        # case — resume a process whose generator
+                        # yields another Sleep — is stepped inline
+                        # (no _step frame, no closure, no re-entry
+                        # into the scheduler for same-instant wakes).
+                        for entry in batch:
+                            index += 1
+                            if entry.cancelled:
+                                continue
+                            executed += 1
+                            action = entry.action
+                            if action.__class__ is not Process:
+                                action()
+                                continue
+                            proc = action
+                            if proc._terminal:
+                                continue
+                            if (proc._resume_value is not None
+                                    or proc._resume_error is not None):
+                                self._step(proc)
+                                continue
+                            proc.state = _RUNNING
+                            self._running = proc
+                            try:
+                                effect = proc.generator.send(None)
+                            except StopIteration as stop:
+                                proc._finish(stop.value)
+                                self.trace.record("finish", process=proc.name)
+                                self._running = None
+                                continue
+                            except BaseException as exc:
+                                proc._fail(exc)
+                                self.trace.record("fail", process=proc.name,
+                                                  error=repr(exc))
+                                self._running = None
+                                continue
+                            self._running = None
+                            if effect.__class__ is Sleep:
+                                proc.state = _WAITING
+                                # The entry that woke us is dead (fired,
+                                # never cancellable from outside): reuse
+                                # it for the next sleep — zero
+                                # allocation per steady-state event.
+                                entry.time = when = next_time + effect.duration
+                                entry.seq = next(seq)
+                                if when == next_time:
+                                    batch.append(entry)
+                                else:
+                                    sched_push(entry)
+                                continue
+                            self._interpret(proc, effect)
+                    else:
+                        fresh_check = True   # stop_when was just evaluated
+                        for entry in batch:
+                            index += 1
+                            if entry.cancelled:
+                                continue
+                            if not fresh_check and stop_when():
+                                sched.requeue(batch[index - 1:])
+                                return
+                            fresh_check = False
+                            executed += 1
+                            action = entry.action
+                            if action.__class__ is Process:
+                                self._step(action)
+                            else:
+                                action()
+                except BaseException:
+                    # A raising action is dropped (it was underway), the
+                    # rest of the instant survives for the next run().
+                    sched.requeue(batch[index:])
+                    raise
+                finally:
+                    self._dispatching = False
+                    del batch[:]
+                self._m_queue_depth.value = len(sched)
+            if until is not None and until > clock.now:
+                clock.advance_to(until)
         finally:
+            self._m_events.value += executed
             # Wall-per-sim-time: how much real time one virtual second
             # costs (the simulator's own efficiency, tracked per run).
             self._m_wall.value += time.perf_counter() - wall_start
-            self._m_sim.value += self.clock.now - sim_start
+            self._m_sim.value += clock.now - sim_start
 
     def run_process(self, generator: Generator, name: str = "main", until: Optional[float] = None) -> Any:
         """Spawn ``generator``, run until it finishes, return its result.
@@ -180,21 +294,34 @@ class Kernel:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _schedule(self, delay: float, action: Callable[[], None]) -> _Scheduled:
+    def _schedule(self, delay: float,
+                  action: Union[Callable[[], None], Process]) -> _Scheduled:
+        # ``action`` is a callable to invoke, or a Process to advance.
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}s in the past")
-        entry = _Scheduled(self.clock.now + delay, next(self._seq), action)
-        heapq.heappush(self._queue, entry)
+        when = self.clock.now + delay
+        entry = _Scheduled(when, next(self._seq), action)
+        if self._dispatching and when == self._batch_time:
+            # Same-instant schedule during dispatch: join the live batch
+            # (appends carry increasing seqs, so order stays exact).
+            self._batch.append(entry)
+        else:
+            self._sched.push(entry)
         return entry
 
     def _step(self, proc: Process, *, throw: Optional[BaseException] = None) -> None:
         """Advance ``proc`` by one generator step and interpret its effect."""
-        if proc.finished:
+        if proc._terminal:
             return
-        value, error = proc._take_resume()
+        # Inlined _take_resume: this runs once per event.
+        value = proc._resume_value
+        error = proc._resume_error
+        if value is not None or error is not None:
+            proc._resume_value = None
+            proc._resume_error = None
         if throw is not None:
             error = throw
-        proc.state = ProcessState.RUNNING
+        proc.state = _RUNNING
         self._running = proc
         try:
             if error is not None:
@@ -211,12 +338,23 @@ class Kernel:
             return
         finally:
             self._running = None
+        if type(effect) is Sleep:
+            # Fast path: Sleep dominates every workload.  Inlines
+            # _schedule (Sleep validated duration >= 0 at construction).
+            proc.state = _WAITING
+            when = self.clock._now + effect.duration
+            entry = _Scheduled(when, next(self._seq), proc)
+            if self._dispatching and when == self._batch_time:
+                self._batch.append(entry)
+            else:
+                self._sched.push(entry)
+            return
         self._interpret(proc, effect)
 
     def _interpret(self, proc: Process, effect: Any) -> None:
         if isinstance(effect, Sleep):
-            proc.state = ProcessState.WAITING
-            self._schedule(effect.duration, lambda: self._resume(proc))
+            proc.state = _WAITING
+            self._schedule(effect.duration, proc)
         elif isinstance(effect, Wait):
             self._do_wait(proc, effect.signal, effect.timeout)
         elif isinstance(effect, Join):
@@ -227,10 +365,10 @@ class Kernel:
             # (hedged RPC attempts trace back to the drain that fired them).
             self.obs.tracer.adopt(child, proc)
             proc._set_resume(value=child)
-            self._schedule(0.0, lambda: self._step(proc))
+            self._schedule(0.0, proc)
         elif isinstance(effect, Now):
             proc._set_resume(value=self.clock.now)
-            self._schedule(0.0, lambda: self._step(proc))
+            self._schedule(0.0, proc)
         elif isinstance(effect, Signal):
             # Sugar: yielding a bare signal waits on it without timeout.
             self._do_wait(proc, effect, None)
@@ -255,7 +393,7 @@ class Kernel:
                 proc._set_resume(error=sig.error)
             else:
                 proc._set_resume(value=sig._value)
-            self._schedule(0.0, lambda: self._step(proc))
+            self._schedule(0.0, proc)
 
         signal.add_waiter(on_fire)
         if timeout is not None and not settled["done"]:
@@ -275,4 +413,5 @@ class Kernel:
         self._step(proc)
 
     def __repr__(self) -> str:
-        return f"Kernel(now={self.now:.3f}, queued={len(self._queue)}, procs={len(self._processes)})"
+        return (f"Kernel(now={self.now:.3f}, queued={len(self._sched)}, "
+                f"procs={len(self._processes)})")

@@ -29,7 +29,15 @@ class Process:
     The completion :class:`Signal` (``proc.done``) fires with the
     generator's return value, or fails with its exception; ``yield
     Join(proc)`` is sugar for waiting on it.
+
+    ``__slots__`` and the ``_terminal`` flag are deliberate: population
+    workloads hold 10⁵+ live processes, and ``finished`` is polled once
+    per kernel event by ``run_process``, so both memory-per-process and
+    the terminal check are hot.
     """
+
+    __slots__ = ("pid", "name", "daemon", "generator", "state", "done",
+                 "_terminal", "_resume_value", "_resume_error")
 
     _counter = 0
 
@@ -41,14 +49,18 @@ class Process:
         self.generator = generator
         self.state = ProcessState.READY
         self.done = Signal(name=f"{self.name}.done")
-        # Kernel bookkeeping: the value/exception to send on next resume.
+        # Kernel bookkeeping: terminal flag (mirrors ``state``, cheap to
+        # poll) and the value/exception to send on next resume.  The
+        # kernel schedules the Process object itself as a timer action,
+        # so no per-process callback object exists at all.
+        self._terminal = False
         self._resume_value: Any = None
         self._resume_error: Optional[BaseException] = None
 
     # -- status ---------------------------------------------------------
     @property
     def finished(self) -> bool:
-        return self.state in _TERMINAL
+        return self._terminal
 
     @property
     def result(self) -> Any:
@@ -73,10 +85,12 @@ class Process:
 
     def _finish(self, value: Any) -> None:
         self.state = ProcessState.FINISHED
+        self._terminal = True
         self.done.fire(value)
 
     def _fail(self, error: BaseException) -> None:
         self.state = ProcessState.FAILED
+        self._terminal = True
         self.done.fail(error)
 
     def kill(self) -> None:
@@ -86,9 +100,10 @@ class Process:
         ``done`` with :class:`ProcessKilled`.  Killing a finished or
         already-killed process is a no-op.
         """
-        if self.finished:
+        if self._terminal:
             return
         self.state = ProcessState.KILLED
+        self._terminal = True
         try:
             self.generator.close()
         except Exception:  # pragma: no cover - close() rarely raises

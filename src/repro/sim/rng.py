@@ -11,6 +11,7 @@ reproducible as they grow.
 from __future__ import annotations
 
 import hashlib
+import math
 import random
 from typing import Iterator, Sequence, TypeVar
 
@@ -83,6 +84,19 @@ class Stream:
             if target < acc:
                 return i
         return n - 1
+
+    def lognormal(self, mean: float, sigma: float = 1.0) -> float:
+        """Lognormally distributed delay with the given *mean* (>= 0).
+
+        Parameterised by the distribution's mean rather than ``mu`` so
+        open-loop arrival processes can dial a target rate directly:
+        ``mu = ln(mean) - sigma**2 / 2`` makes ``E[X] == mean`` while
+        ``sigma`` controls how heavy the tail is (burstiness).
+        """
+        if mean <= 0:
+            return 0.0
+        mu = math.log(mean) - 0.5 * sigma * sigma
+        return self._rng.lognormvariate(mu, sigma)
 
     def pareto_latency(self, floor: float, alpha: float = 2.5) -> float:
         """Heavy-tailed latency: ``floor`` plus a Pareto-distributed tail.

@@ -2,16 +2,27 @@
 
 Three concrete scenarios — WWW ``.face`` files, the library information
 system, and Pittsburgh restaurant menus — plus the generic scenario
-builder and background mutator they share.
+builder and background mutator they share, and the population-scale
+open-loop load engine that drives 10⁵+ simulated clients against any
+built scenario.
 """
 
 from .library import CatalogEntry, LibraryWorkload, build_library
 from .mirror import CATEGORIES, MirrorWorkload, build_mirror
+from .population import (
+    Behavior,
+    PopulationEngine,
+    PopulationSpec,
+    Stage,
+    StageResult,
+    default_behaviors,
+)
 from .restaurants import CUISINES, Menu, RestaurantsWorkload, build_restaurants
 from .web import FaceRecord, FacesWorkload, build_faces
 from .workload import Mutator, Scenario, ScenarioSpec, build_scenario
 
 __all__ = [
+    "Behavior",
     "CATEGORIES",
     "CUISINES",
     "CatalogEntry",
@@ -21,12 +32,17 @@ __all__ = [
     "Menu",
     "MirrorWorkload",
     "Mutator",
+    "PopulationEngine",
+    "PopulationSpec",
     "RestaurantsWorkload",
     "Scenario",
     "ScenarioSpec",
+    "Stage",
+    "StageResult",
     "build_faces",
     "build_library",
     "build_mirror",
     "build_restaurants",
     "build_scenario",
+    "default_behaviors",
 ]
