@@ -29,6 +29,7 @@ from .exp_latency import (
 from .exp_locking import run_disconnection, run_lock_cost
 from .exp_motivating import run_motivating
 from .exp_obs import run_obs
+from .exp_overload import run_overload
 from .exp_population import run_kernel_throughput, run_population
 from .exp_recovery import run_recovery
 from .exp_resilience import run_resilience
@@ -66,6 +67,7 @@ __all__ = [
     "run_motivating",
     "run_obs",
     "run_outbox_crash",
+    "run_overload",
     "run_population",
     "run_prefetch",
     "run_reconcile_cost",
@@ -112,4 +114,5 @@ ALL_EXPERIMENTS = {
     "E21c": run_geo_flap,
     "E22": run_population,
     "E22a": run_kernel_throughput,
+    "E23": run_overload,
 }

@@ -42,7 +42,8 @@ DEFAULT_IGNORED_KEYS = frozenset({"elapsed_wall_s", "wall_ms"})
 #: Substrings marking a field where *smaller* is better.
 _LOWER_BETTER = ("time", "latency", "cost", "staleness", "lag", "viol",
                  "ghost", "dangling", "orphan", "message", "bytes", "rpc",
-                 "failure", "retries", "blocked", "abort", "miss")
+                 "failure", "retries", "blocked", "abort", "miss",
+                 "p50", "p95", "p99")
 #: Substrings marking a field where *larger* is better.
 _HIGHER_BETTER = ("speedup", "yield", "ok", "hit", "completion", "throughput",
                   "avail", "acked", "healed", "conform")

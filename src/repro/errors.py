@@ -25,6 +25,7 @@ __all__ = [
     "DisconnectedError",
     "LockUnavailableFailure",
     "CircuitOpenFailure",
+    "ServerBusyFailure",
     "SimulationError",
     "ProcessKilled",
     "SpecificationError",
@@ -127,6 +128,24 @@ class CircuitOpenFailure(FailureException):
 
     def __init__(self, reason: str = "circuit open"):
         super().__init__(reason)
+
+
+class ServerBusyFailure(FailureException):
+    """The destination server shed this request at admission.
+
+    Unlike the transport failures, this is an *answer* from a live,
+    saturated node: its bounded executor had no worker and no queue
+    room (or the request lost a priority eviction).  ``retry_after``
+    is the server's own estimate of when capacity frees up — observed
+    queue depth x EWMA service time over the worker pool — which the
+    resilience layer uses as a backoff floor instead of hammering the
+    queue that just rejected it.
+    """
+
+    def __init__(self, reason: str = "server busy",
+                 retry_after: float = 0.0):
+        super().__init__(reason)
+        self.retry_after = retry_after
 
 
 class SimulationError(ReproError):

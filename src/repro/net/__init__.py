@@ -7,6 +7,13 @@ DESIGN.md §2.
 """
 
 from .address import Address, NodeId
+from .executor import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    BoundedExecutor,
+    ExecutorPolicy,
+)
 from .fabric import Network
 from .failure_detector import FailureDetector, PingService
 from .failures import FaultInjector, FaultPlan, FaultSchedule
@@ -15,11 +22,15 @@ from .message import Message
 from .node import Node
 from .partitions import PartitionManager
 from .resilience import (
+    AIMDPolicy,
+    AdaptiveLimiter,
     BreakerPolicy,
     BreakerState,
     CircuitBreaker,
     Deadline,
     ResilientClient,
+    RetryBudget,
+    RetryBudgetPolicy,
     RetryPolicy,
     TRANSPORT_FAILURES,
 )
@@ -29,11 +40,15 @@ from .topology import (Topology, datacenter_groups, full_mesh, line,
 from .transport import Transport
 
 __all__ = [
+    "AIMDPolicy",
+    "AdaptiveLimiter",
     "Address",
+    "BoundedExecutor",
     "BreakerPolicy",
     "BreakerState",
     "CircuitBreaker",
     "Deadline",
+    "ExecutorPolicy",
     "FailureDetector",
     "FaultInjector",
     "FaultPlan",
@@ -47,10 +62,15 @@ __all__ = [
     "Node",
     "NodeStats",
     "NodeId",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
     "ParetoLatency",
     "PartitionManager",
     "PingService",
     "ResilientClient",
+    "RetryBudget",
+    "RetryBudgetPolicy",
     "RetryPolicy",
     "TRANSPORT_FAILURES",
     "Topology",

@@ -1,0 +1,306 @@
+"""Bounded server-side execution: admission control and load shedding.
+
+Until this module landed, every incoming RPC spawned its own handler
+process, so a server could never saturate — offered load past any knee
+just meant more concurrent sleeps.  A :class:`BoundedExecutor` makes
+capacity finite the way a real server's worker pool does:
+
+* at most ``concurrency`` request handlers run at once;
+* excess requests wait in a bounded admission queue with a pluggable
+  discipline — ``fifo`` (fairness), ``lifo`` (tail-latency: newest
+  requests are the ones whose callers are still waiting), or
+  ``priority`` (classes carried in RPC metadata: interactive reads
+  above background anti-entropy/repair, with aging so low classes
+  cannot starve);
+* when the queue is full the executor *sheds*: the victim — the
+  incoming request under fifo, the oldest under lifo, the least
+  urgent under priority — is answered immediately with
+  :class:`~repro.errors.ServerBusyFailure` carrying a ``retry_after``
+  hint derived from observed queue depth x EWMA service time;
+* under a ``brownout`` policy, a deep queue degrades eligible reads
+  (the service's ``DEGRADED_METHODS`` table) instead of queuing them:
+  the server answers from its last committed state with zero service
+  time, tagged stale — degrading freshness, never availability, which
+  a weak set's specification explicitly permits.
+
+The executor is generic over "jobs" (callables handed in by the
+transport), so it lives in ``repro.net`` and knows nothing about the
+store.  Everything is observable under ``overload.*``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..errors import ServerBusyFailure, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.kernel import Kernel
+
+__all__ = ["PRIORITY_HIGH", "PRIORITY_NORMAL", "PRIORITY_LOW",
+           "DISCIPLINES", "ExecutorPolicy", "BoundedExecutor"]
+
+#: Priority classes carried in RPC metadata (lower value = more urgent).
+PRIORITY_HIGH = 0      # failure-detector probes, health checks
+PRIORITY_NORMAL = 1    # interactive client traffic (the default)
+PRIORITY_LOW = 2       # background anti-entropy, repair, scrub
+
+DISCIPLINES = ("fifo", "lifo", "priority")
+
+#: EWMA smoothing for the observed per-request service time.
+_EWMA_ALPHA = 0.2
+
+
+class ExecutorPolicy:
+    """Dials for one node's bounded executor.
+
+    ``concurrency=None`` disables the executor entirely (the seed
+    model: unbounded handler spawning); ``queue_limit=None`` bounds
+    workers but queues without limit — the classic congestion-collapse
+    ablation, where queueing delay grows past every caller's timeout.
+    """
+
+    __slots__ = ("concurrency", "queue_limit", "discipline", "brownout",
+                 "brownout_depth", "aging", "retry_after_floor")
+
+    def __init__(self, concurrency: Optional[int] = None,
+                 queue_limit: Optional[int] = None,
+                 discipline: str = "fifo",
+                 brownout: bool = False,
+                 brownout_depth: Optional[int] = None,
+                 aging: float = 0.5,
+                 retry_after_floor: float = 0.005):
+        if discipline not in DISCIPLINES:
+            raise SimulationError(
+                f"unknown admission discipline {discipline!r}; "
+                f"known: {DISCIPLINES}")
+        if concurrency is not None and concurrency < 1:
+            raise SimulationError("executor concurrency must be >= 1")
+        if queue_limit is not None and queue_limit < 0:
+            raise SimulationError("executor queue_limit must be >= 0")
+        self.concurrency = concurrency
+        self.queue_limit = queue_limit
+        self.discipline = discipline
+        self.brownout = brownout
+        #: queue depth at which brownout kicks in; None resolves to
+        #: half the queue limit (or the worker count when unbounded).
+        self.brownout_depth = brownout_depth
+        #: seconds of queue wait that promote an entry one priority
+        #: class (anti-starvation); 0 disables aging.
+        self.aging = aging
+        self.retry_after_floor = retry_after_floor
+
+    @property
+    def enabled(self) -> bool:
+        return self.concurrency is not None
+
+    def __repr__(self) -> str:
+        return (f"ExecutorPolicy(concurrency={self.concurrency}, "
+                f"queue_limit={self.queue_limit}, "
+                f"discipline={self.discipline!r}, "
+                f"brownout={self.brownout})")
+
+
+class _Entry:
+    """One queued admission: the job plus its metadata."""
+
+    __slots__ = ("priority", "enqueued_at", "seq", "start", "shed")
+
+    def __init__(self, priority: int, enqueued_at: float, seq: int,
+                 start: Callable, shed: Callable):
+        self.priority = priority
+        self.enqueued_at = enqueued_at
+        self.seq = seq
+        self.start = start
+        self.shed = shed
+
+
+class BoundedExecutor:
+    """A worker pool + admission queue for one :class:`~repro.net.Node`.
+
+    The transport submits each inbound request as a pair of callables:
+    ``start(release)`` begins handler execution and must call
+    ``release()`` exactly once when the handler settles; ``shed(exc)``
+    answers the caller with a busy error.  The executor never touches
+    messages or services directly.
+    """
+
+    def __init__(self, kernel: "Kernel", policy: ExecutorPolicy,
+                 name: str = ""):
+        if not policy.enabled:
+            raise SimulationError(
+                "BoundedExecutor needs a concurrency limit; use no "
+                "executor at all for the unbounded model")
+        self.kernel = kernel
+        self.policy = policy
+        self.name = name
+        self.running = 0
+        self._queue: deque[_Entry] = deque()
+        self._seq = 0
+        self._epoch = 0            # bumped by reset(); stales old releases
+        #: EWMA of observed handler service time (virtual seconds);
+        #: seeds at the floor so the first hints are sane.
+        self.ewma_service_time = policy.retry_after_floor
+        depth = policy.brownout_depth
+        if depth is None:
+            depth = (max(1, policy.queue_limit // 2)
+                     if policy.queue_limit else policy.concurrency)
+        self._brownout_depth = depth
+        # counters are shared across the fleet (one registry per
+        # kernel); the queue-depth gauge tracks the *total* backlog.
+        metrics = kernel.obs.metrics
+        self._m_admitted = metrics.counter("overload.admitted")
+        self._m_shed = metrics.counter("overload.shed")
+        self._m_brownout = metrics.counter("overload.brownout_served")
+        self._m_depth = metrics.gauge("overload.queue_depth")
+        self._m_wait = metrics.histogram("overload.queue_wait")
+
+    # -- capacity accounting ---------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def saturated(self) -> bool:
+        return self.running >= self.policy.concurrency
+
+    def retry_after(self) -> float:
+        """The shed hint: how long until the backlog likely drains.
+
+        Queue depth (plus the request being shed) times the EWMA
+        service time, divided over the worker pool — the server's own
+        estimate of its current residence time, floored so clients
+        never spin on a zero hint.
+        """
+        backlog = len(self._queue) + 1
+        estimate = backlog * self.ewma_service_time / self.policy.concurrency
+        return max(self.policy.retry_after_floor, estimate)
+
+    # -- admission --------------------------------------------------------
+    def submit(self, priority: int, start: Callable, shed: Callable,
+               degrade: Optional[Callable] = None) -> None:
+        """Admit, degrade, queue, or shed one inbound request."""
+        if not self.saturated:
+            self._dispatch_now(start)
+            return
+        if (degrade is not None and self.policy.brownout
+                and len(self._queue) >= self._brownout_depth):
+            self._m_brownout.inc()
+            degrade()
+            return
+        limit = self.policy.queue_limit
+        if limit is not None and len(self._queue) >= limit:
+            self._shed_for(priority, start, shed)
+            return
+        self._enqueue(priority, start, shed)
+
+    def _enqueue(self, priority: int, start: Callable,
+                 shed: Callable) -> None:
+        self._seq += 1
+        self._queue.append(_Entry(priority, self.kernel.now, self._seq,
+                                  start, shed))
+        self._m_depth.add(1)
+
+    def _shed_for(self, priority: int, start: Callable,
+                  shed: Callable) -> None:
+        """Queue full: pick the victim per discipline and reject it."""
+        policy = self.policy
+        if policy.queue_limit == 0 or not self._queue:
+            self._reject(shed)
+            return
+        if policy.discipline == "fifo":
+            # Fairness: latecomers are rejected, the queue keeps order.
+            self._reject(shed)
+            return
+        if policy.discipline == "lifo":
+            # Tail-latency: the oldest waiter's caller has likely timed
+            # out already — evict it, keep the fresh request.
+            victim = self._queue.popleft()
+            self._m_depth.add(-1)
+            self._reject(victim.shed)
+            self._enqueue(priority, start, shed)
+            return
+        # priority: shed lowest-priority-first (aging-adjusted).  The
+        # incoming request competes at age zero.
+        victim_i = max(range(len(self._queue)),
+                       key=lambda i: (self._urgency(self._queue[i]),
+                                      self._queue[i].seq))
+        victim = self._queue[victim_i]
+        if self._urgency(victim) <= priority:
+            # Everything queued is at least as urgent as the newcomer.
+            self._reject(shed)
+            return
+        del self._queue[victim_i]
+        self._m_depth.add(-1)
+        self._reject(victim.shed)
+        self._enqueue(priority, start, shed)
+
+    def _reject(self, shed: Callable) -> None:
+        self._m_shed.inc()
+        shed(ServerBusyFailure(
+            f"{self.name or 'server'} at capacity "
+            f"(running={self.running}, queued={len(self._queue)})",
+            retry_after=self.retry_after()))
+
+    def _urgency(self, entry: _Entry) -> float:
+        """Aging-adjusted priority: waiting promotes an entry so low
+        classes cannot starve behind a flood of urgent ones."""
+        aging = self.policy.aging
+        if aging <= 0:
+            return float(entry.priority)
+        return entry.priority - (self.kernel.now - entry.enqueued_at) / aging
+
+    # -- dispatch ---------------------------------------------------------
+    def _dispatch_now(self, start: Callable) -> None:
+        self.running += 1
+        self._m_admitted.inc()
+        epoch = self._epoch
+        started_at = self.kernel.now
+        released = [False]
+
+        def release() -> None:
+            if released[0] or epoch != self._epoch:
+                return             # double release, or reset() intervened
+            released[0] = True
+            self.running -= 1
+            elapsed = self.kernel.now - started_at
+            self.ewma_service_time += _EWMA_ALPHA * (
+                elapsed - self.ewma_service_time)
+            self._drain()
+
+        start(release)
+
+    def _drain(self) -> None:
+        while self._queue and not self.saturated:
+            entry = self._pick()
+            self._m_depth.add(-1)
+            self._m_wait.observe(self.kernel.now - entry.enqueued_at)
+            self._dispatch_now(entry.start)
+
+    def _pick(self) -> _Entry:
+        discipline = self.policy.discipline
+        if discipline == "fifo":
+            return self._queue.popleft()
+        if discipline == "lifo":
+            return self._queue.pop()
+        best = min(range(len(self._queue)),
+                   key=lambda i: (self._urgency(self._queue[i]),
+                                  self._queue[i].seq))
+        entry = self._queue[best]
+        del self._queue[best]
+        return entry
+
+    # -- crash ------------------------------------------------------------
+    def reset(self) -> None:
+        """Crash semantics: queued requests vanish (their replies are
+        lost, like any in-flight handler's), workers are gone."""
+        self._m_depth.add(-len(self._queue))
+        self._queue.clear()
+        self.running = 0
+        self._epoch += 1
+
+    def __repr__(self) -> str:
+        return (f"BoundedExecutor({self.name!r}, "
+                f"running={self.running}/{self.policy.concurrency}, "
+                f"queued={len(self._queue)})")

@@ -21,6 +21,7 @@ from ..errors import SimulationError, TimeoutFailure
 from ..sim.events import Sleep, Wait
 from ..sim.kernel import Kernel
 from .address import Address, NodeId
+from .executor import PRIORITY_NORMAL
 from .message import Message
 from .node import Node
 from .partitions import PartitionManager
@@ -115,11 +116,16 @@ class Network:
     # -- RPC ----------------------------------------------------------------
     def call(self, src: NodeId, dst: NodeId, service: str, method: str,
              *args: Any, timeout: Optional[float] = None,
+             priority: int = PRIORITY_NORMAL,
              **kwargs: Any) -> Generator[Any, Any, Any]:
         """Blocking RPC from ``src`` to ``service@dst`` (a sub-generator).
 
         Raises a concrete :class:`FailureException` on any detectable
         failure.  Use as ``result = yield from net.call(...)``.
+
+        ``priority`` is RPC metadata, not a handler argument: the
+        destination's bounded executor (when one is configured) queues
+        the request under this admission class.
 
         Every call is one ``rpc.attempt`` span (the resilience layer
         wraps these in a ``rpc.call`` span covering all its attempts).
@@ -130,7 +136,8 @@ class Network:
         self._m_attempts.value += 1
         try:
             result = yield from self._call_raw(
-                src, dst, service, method, *args, timeout=timeout, **kwargs)
+                src, dst, service, method, *args, timeout=timeout,
+                priority=priority, **kwargs)
         except BaseException as exc:
             tracer.finish(span, outcome=type(exc).__name__)
             self._m_attempt_latency.observe(span.duration)
@@ -141,6 +148,7 @@ class Network:
 
     def _call_raw(self, src: NodeId, dst: NodeId, service: str, method: str,
                   *args: Any, timeout: Optional[float] = None,
+                  priority: int = PRIORITY_NORMAL,
                   **kwargs: Any) -> Generator[Any, Any, Any]:
         if timeout is None:
             timeout = self.default_timeout
@@ -158,6 +166,7 @@ class Network:
             dst=Address(dst, service),
             method=method,
             payload=(args, kwargs),
+            priority=priority,
         )
         reply = self.transport.register_reply(request)
         self.transport.send(request)

@@ -8,13 +8,23 @@ last ``suspect_after`` seconds contained no successful ping is
 *suspected*.  It is unreliable in the classic way — it can suspect a
 slow-but-alive node and can briefly trust a dead one — which is exactly
 the behaviour the pessimistic/optimistic comparison (E4) needs.
+
+Overload awareness: a server that *sheds* a ping
+(:class:`~repro.errors.ServerBusyFailure`) is demonstrably alive — its
+admission layer answered.  Declaring such a node crashed is the classic
+false positive that makes overload cascade (traffic fails over onto the
+remaining replicas and saturates them too).  The detector instead
+treats the shed as a successful liveness proof and exponentially backs
+off that node's ping timeout, giving a saturated-but-alive server room
+to breathe without losing crash coverage (a truly dead node still times
+out, no matter the scale).
 """
 
 from __future__ import annotations
 
 from typing import Generator, Iterable
 
-from ..errors import FailureException
+from ..errors import FailureException, ServerBusyFailure
 from ..sim.events import Fork, Join, Sleep
 from .address import NodeId
 from .fabric import Network
@@ -34,6 +44,9 @@ class FailureDetector:
 
     SERVICE = "ping"
 
+    #: ping-timeout multiplier is capped here (2^3 doublings by default).
+    MAX_TIMEOUT_SCALE = 8.0
+
     def __init__(self, net: Network, home: NodeId, monitored: Iterable[NodeId],
                  period: float = 0.5, suspect_after: float = 1.5,
                  rpc_timeout: float = 0.4):
@@ -44,6 +57,9 @@ class FailureDetector:
         self.suspect_after = suspect_after
         self.rpc_timeout = rpc_timeout
         self._last_ok: dict[NodeId, float] = {n: net.now for n in self.monitored}
+        #: per-node ping-timeout multiplier, doubled on each shed ping
+        #: and reset on a real pong (busy-aware exponential backoff).
+        self._timeout_scale: dict[NodeId, float] = {n: 1.0 for n in self.monitored}
         self.transitions: list[tuple[float, NodeId, bool]] = []
         self._suspected: set[NodeId] = set()
 
@@ -83,9 +99,17 @@ class FailureDetector:
         try:
             yield from self.net.call(
                 self.home, node, self.SERVICE, "ping",
-                timeout=self.rpc_timeout,
+                timeout=self.rpc_timeout * self._timeout_scale[node],
             )
             self._last_ok[node] = self.net.now
+            self._timeout_scale[node] = 1.0
+        except ServerBusyFailure:
+            # The admission layer answered: the node is alive, just
+            # saturated.  Refresh liveness and give the next ping more
+            # room instead of escalating toward a false crash verdict.
+            self._last_ok[node] = self.net.now
+            self._timeout_scale[node] = min(
+                self.MAX_TIMEOUT_SCALE, self._timeout_scale[node] * 2.0)
         except FailureException:
             pass
         self._refresh(node)

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from .address import Address
+from .executor import PRIORITY_NORMAL
 
 __all__ = ["Message"]
 
@@ -23,6 +24,9 @@ class Message:
     payload: Any = None
     is_reply: bool = False
     reply_to: Optional[int] = None
+    #: admission-priority class (see :mod:`repro.net.executor`) the
+    #: destination's bounded executor queues this request under.
+    priority: int = PRIORITY_NORMAL
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
 
     def reply(self, payload: Any, *, error: bool = False) -> "Message":
@@ -34,6 +38,7 @@ class Message:
             payload=payload,
             is_reply=True,
             reply_to=self.msg_id,
+            priority=self.priority,
         )
 
     def __str__(self) -> str:

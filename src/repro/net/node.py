@@ -15,13 +15,14 @@ durable, clears volatile service state via each service's optional
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Optional
 
 from ..errors import SimulationError
 from ..sim.process import Process
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.kernel import Kernel
+    from .executor import BoundedExecutor
 
 __all__ = ["Node"]
 
@@ -36,6 +37,9 @@ class Node:
         self.services: dict[str, Any] = {}
         self._handlers: list[Process] = []
         self.crash_count = 0
+        #: when set, inbound requests pass admission control (bounded
+        #: worker pool + queue) instead of spawning unboundedly.
+        self.executor: Optional["BoundedExecutor"] = None
 
     # -- services -----------------------------------------------------------
     def register_service(self, name: str, service: Any) -> None:
@@ -64,6 +68,8 @@ class Node:
         for proc in self._handlers:
             proc._kill()
         self._handlers.clear()
+        if self.executor is not None:
+            self.executor.reset()
         for service in self.services.values():
             hook = getattr(service, "on_crash", None)
             if hook is not None:

@@ -42,6 +42,7 @@ from ..errors import (
     LinkDownFailure,
     NodeCrashFailure,
     PartitionFailure,
+    ServerBusyFailure,
     TimeoutFailure,
 )
 from ..sim.events import Fork, Signal, Sleep, Wait
@@ -59,6 +60,10 @@ __all__ = [
     "BreakerState",
     "BreakerPolicy",
     "CircuitBreaker",
+    "RetryBudgetPolicy",
+    "RetryBudget",
+    "AIMDPolicy",
+    "AdaptiveLimiter",
     "ResilientClient",
 ]
 
@@ -87,25 +92,32 @@ class RetryPolicy:
     base_delay: float = 0.05
     multiplier: float = 2.0
     max_delay: float = 2.0
-    jitter: float = 0.5                  # ± fraction of the nominal delay
-    retry_on: tuple[type, ...] = TRANSPORT_FAILURES + (CircuitOpenFailure,)
+    jitter: float = 0.5                  # > 0 enables full jitter
+    retry_on: tuple[type, ...] = TRANSPORT_FAILURES + (
+        CircuitOpenFailure, ServerBusyFailure)
 
     def is_retryable(self, exc: BaseException) -> bool:
         return isinstance(exc, self.retry_on)
 
     def backoff(self, attempt: int, stream: Stream) -> float:
-        """Delay before retry number ``attempt`` (1-based), jittered.
+        """Delay before retry number ``attempt`` (1-based): full jitter.
 
-        The jitter is drawn from a named simulation stream, so the
-        schedule is a pure function of (seed, call order) — reproducible
-        chaos, per the repo's determinism rule.
+        Any ``jitter > 0`` draws the whole delay uniformly from
+        ``[0, nominal]`` — the "full jitter" scheme, which decorrelates
+        a cohort of clients whose calls all failed at the same instant
+        (the retry-storm synchronization that additive jitter cannot
+        break up).  ``jitter <= 0`` keeps the exact exponential ladder
+        for tests that need determinism.
+
+        The draw comes from a named simulation stream, so the schedule
+        is a pure function of (seed, call order) — reproducible chaos,
+        per the repo's determinism rule.
         """
         nominal = min(self.max_delay,
                       self.base_delay * self.multiplier ** (attempt - 1))
         if self.jitter <= 0:
             return nominal
-        lo = nominal * max(0.0, 1.0 - self.jitter)
-        return stream.uniform(lo, nominal * (1.0 + self.jitter))
+        return stream.uniform(0.0, nominal)
 
 
 # ---------------------------------------------------------------------------
@@ -225,6 +237,131 @@ class CircuitBreaker:
 
 
 # ---------------------------------------------------------------------------
+# retry budgets (the anti-storm governor)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryBudgetPolicy:
+    """Token-bucket retry budget: retries as a bounded fraction of
+    first attempts.
+
+    Every first attempt deposits ``ratio`` tokens (capped at
+    ``burst``); every retry withdraws one whole token.  In steady
+    state retries therefore cannot exceed ``ratio`` x the first-attempt
+    rate — the property that turns a retrying client from a load
+    *amplifier* (the metastable retry-storm ingredient) into a bounded
+    overhead.  ``burst`` is both the bucket cap and the initial
+    balance, so isolated failures still get their full retry ladder.
+    """
+
+    ratio: float = 0.1
+    burst: float = 10.0
+
+
+class RetryBudget:
+    """Mutable token-bucket state for one client."""
+
+    __slots__ = ("policy", "tokens")
+
+    def __init__(self, policy: Optional[RetryBudgetPolicy] = None):
+        self.policy = policy if policy is not None else RetryBudgetPolicy()
+        self.tokens = self.policy.burst
+
+    def deposit(self) -> None:
+        """Record a first attempt: earn ``ratio`` of a retry token."""
+        self.tokens = min(self.policy.burst, self.tokens + self.policy.ratio)
+
+    def withdraw(self) -> bool:
+        """Spend one token for a retry; False = budget exhausted."""
+        # Epsilon absorbs float dust from accumulated ratio deposits
+        # (ten 0.1-deposits sum to 0.9999999999999999).
+        if self.tokens >= 1.0 - 1e-9:
+            self.tokens = max(0.0, self.tokens - 1.0)
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"RetryBudget(tokens={self.tokens:.2f}/{self.policy.burst})"
+
+
+# ---------------------------------------------------------------------------
+# AIMD adaptive concurrency
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class AIMDPolicy:
+    """Dials for an additive-increase / multiplicative-decrease window.
+
+    The TCP congestion-control shape applied to client concurrency:
+    each clean success grows the window by ``increase / window`` (one
+    full step per window of successes); any overload signal — a
+    :class:`~repro.errors.ServerBusyFailure`, a timeout, or a latency
+    above ``latency_threshold`` — halves it (``backoff``), floored at
+    ``min_window``.  ``cooldown`` rate-limits decreases so one burst of
+    sheds from a single congested instant does not collapse the window
+    all the way to the floor.
+    """
+
+    min_window: int = 1
+    max_window: int = 64
+    initial: int = 8
+    backoff: float = 0.5
+    increase: float = 1.0
+    latency_threshold: Optional[float] = None
+    cooldown: float = 0.05
+
+
+class AdaptiveLimiter:
+    """AIMD in-flight window shared by a client's pipelines.
+
+    The fetch and write pipelines read :attr:`window` as their
+    in-flight cap (their static ``window`` constants become upper
+    bounds) and feed back every batch outcome.  The current window is
+    exported as the ``overload.limiter_window`` gauge.
+    """
+
+    __slots__ = ("policy", "_window", "_last_decrease", "_m_window")
+
+    def __init__(self, policy: Optional[AIMDPolicy] = None, metrics=None):
+        self.policy = policy if policy is not None else AIMDPolicy()
+        p = self.policy
+        self._window = float(min(max(p.initial, p.min_window), p.max_window))
+        self._last_decrease = -p.cooldown
+        self._m_window = (metrics.gauge("overload.limiter_window")
+                          if metrics is not None else None)
+        self._publish()
+
+    @property
+    def window(self) -> int:
+        return int(self._window)
+
+    def on_success(self, latency: float, now: float) -> None:
+        p = self.policy
+        if p.latency_threshold is not None and latency > p.latency_threshold:
+            self._decrease(now)
+            return
+        self._window = min(float(p.max_window),
+                           self._window + p.increase / max(1.0, self._window))
+        self._publish()
+
+    def on_overload(self, now: float) -> None:
+        self._decrease(now)
+
+    def _decrease(self, now: float) -> None:
+        p = self.policy
+        if now - self._last_decrease < p.cooldown:
+            return
+        self._last_decrease = now
+        self._window = max(float(p.min_window), self._window * p.backoff)
+        self._publish()
+
+    def _publish(self) -> None:
+        if self._m_window is not None:
+            self._m_window.set(self.window)
+
+    def __repr__(self) -> str:
+        return f"AdaptiveLimiter(window={self._window:.2f})"
+
+
+# ---------------------------------------------------------------------------
 # the resilient client
 # ---------------------------------------------------------------------------
 class ResilientClient:
@@ -243,18 +380,25 @@ class ResilientClient:
       request goes to the next candidate and the first reply wins.
     * ``default_budget`` — a total-time :class:`Deadline` applied to
       every call that does not bring its own.
+    * ``retry_budget`` — a :class:`RetryBudgetPolicy` caps this client's
+      retries at a bounded fraction of its first attempts, so a
+      saturated server never sees the retry storm that turns overload
+      into congestion collapse.
     """
 
     def __init__(self, net: "Network", policy: Optional[RetryPolicy] = None,
                  breaker: Optional[BreakerPolicy] = None,
                  hedge_delay: Optional[float] = None,
                  default_budget: Optional[float] = None,
+                 retry_budget: Optional[RetryBudgetPolicy] = None,
                  stream_name: str = "net.resilience"):
         self.net = net
         self.policy = policy if policy is not None else RetryPolicy()
         self.breaker_policy = breaker
         self.hedge_delay = hedge_delay
         self.default_budget = default_budget
+        self.retry_budget = (RetryBudget(retry_budget)
+                             if retry_budget is not None else None)
         self.stream = net.kernel.stream(stream_name)
         self._breakers: dict[tuple[NodeId, NodeId], CircuitBreaker] = {}
         #: Destination that answered the most recent hedged_call (read it
@@ -323,6 +467,8 @@ class ResilientClient:
         try:
             while True:
                 attempt += 1
+                if attempt == 1 and self.retry_budget is not None:
+                    self.retry_budget.deposit()
                 now = self.net.now
                 if deadline is not None and deadline.expired(now):
                     raise last_exc if last_exc is not None else TimeoutFailure(
@@ -351,7 +497,17 @@ class ResilientClient:
                         return result
                 if attempt >= attempts or not self.policy.is_retryable(last_exc):
                     raise last_exc
+                if self.retry_budget is not None and not self.retry_budget.withdraw():
+                    # Out of retry tokens: surface the failure instead of
+                    # piling more load onto a struggling server.
+                    self.stats.retry_budget_exhausted += 1
+                    raise last_exc
                 delay = self.policy.backoff(attempt, self.stream)
+                # A shedding server tells us when it expects capacity;
+                # never come back sooner than that.
+                retry_after = getattr(last_exc, "retry_after", 0.0) or 0.0
+                if retry_after > delay:
+                    delay = retry_after
                 if deadline is not None:
                     remaining = deadline.remaining(self.net.now)
                     if remaining <= 0:

@@ -72,6 +72,7 @@ class NetworkStats:
         "breaker_trips": "rpc.breaker_trips",
         "breaker_fast_fails": "rpc.breaker_fast_fails",
         "failovers": "rpc.failovers",
+        "retry_budget_exhausted": "overload.retry_budget_exhausted",
     }
 
     def __init__(self, registry: Optional[MetricsRegistry] = None):
@@ -94,6 +95,7 @@ class NetworkStats:
     breaker_trips = _registry_counter("rpc.breaker_trips")
     breaker_fast_fails = _registry_counter("rpc.breaker_fast_fails")
     failovers = _registry_counter("rpc.failovers")
+    retry_budget_exhausted = _registry_counter("overload.retry_budget_exhausted")
 
     def node(self, name: NodeId) -> NodeStats:
         stats = self.per_node.get(name)

@@ -143,6 +143,24 @@ class Transport:
     # -- server-side dispatch ------------------------------------------------
     def _dispatch_request(self, msg: Message) -> None:
         node = self.nodes[msg.dst.node]
+        executor = node.executor
+        if executor is None:
+            # The seed model: every request gets a handler immediately
+            # (unbounded concurrency — servers can never saturate).
+            self._execute_request(node, msg)
+            return
+        executor.submit(
+            msg.priority,
+            start=lambda release: self._execute_request(node, msg, release),
+            shed=lambda exc: self.send(msg.reply(exc, error=True)),
+            degrade=self._degraded_runner(node, msg),
+        )
+
+    def _execute_request(self, node: Node, msg: Message,
+                         release=None) -> None:
+        """Invoke the handler; ``release`` (executor callback) fires
+        once the request settles — immediately for fast in-memory
+        methods, at handler completion for generator handlers."""
         try:
             service = node.service(msg.dst.service)
             handler = getattr(service, msg.method, None)
@@ -153,20 +171,57 @@ class Transport:
             args, kwargs = msg.payload
             result = handler(*args, **kwargs)
         except BaseException as exc:  # noqa: BLE001 - forwarded to caller
+            if release is not None:
+                release()
             self.send(msg.reply(exc, error=True))
             return
         if isinstance(result, types.GeneratorType):
-            self._run_handler(node, msg, result)
+            self._run_handler(node, msg, result, release)
         else:
+            if release is not None:
+                release()
             self.send(msg.reply(result))
 
-    def _run_handler(self, node: Node, msg: Message, gen: types.GeneratorType) -> None:
+    def _degraded_runner(self, node: Node, msg: Message):
+        """The brownout fast-path, if the target service offers one.
+
+        A service may declare ``DEGRADED_METHODS`` mapping an RPC
+        method to a zero-cost fallback that answers from committed
+        state (e.g. a stale membership snapshot).  The executor invokes
+        it synchronously when the admission queue is deep — degrading
+        freshness, not availability.
+        """
+        service = node.services.get(msg.dst.service)
+        if service is None:
+            return None
+        table = getattr(service, "DEGRADED_METHODS", None)
+        if not table:
+            return None
+        alt = table.get(msg.method)
+        if alt is None:
+            return None
+
+        def run() -> None:
+            try:
+                args, kwargs = msg.payload
+                result = getattr(service, alt)(*args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - forwarded
+                self.send(msg.reply(exc, error=True))
+                return
+            self.send(msg.reply(result))
+
+        return run
+
+    def _run_handler(self, node: Node, msg: Message, gen: types.GeneratorType,
+                     release=None) -> None:
         proc = self.kernel.spawn(
             gen, name=f"{msg.dst}.{msg.method}#{msg.msg_id}", daemon=True
         )
         node.track_handler(proc)
 
         def on_done(sig: Signal) -> None:
+            if release is not None:
+                release()
             if not node.up:
                 return  # crashed while handling: reply is lost
             if sig.error is not None:

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Generator
 
 from ..errors import FailureException, SimulationError
 from ..net.address import NodeId
+from ..net.executor import PRIORITY_LOW
 from ..sim.events import Sleep
 from .server import CollectionState
 
@@ -87,9 +88,13 @@ class AntiEntropySyncer:
             span = tracer.start("sync.round", coll=self.info.coll_id,
                                 replica=str(self.replica))
             try:
+                # Background-class admission priority: under overload,
+                # anti-entropy yields to client reads rather than
+                # competing with them (aging still prevents starvation).
                 delta = yield from self.world.sync_client.call(
                     self.replica, self.info.primary, "store", "sync_delta",
                     self.info.coll_id, state.version, timeout=period,
+                    priority=PRIORITY_LOW,
                 )
             except (FailureException, SimulationError) as exc:
                 # FailureException: the primary was unreachable (retries

@@ -57,7 +57,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
 
 from ..errors import (CircuitOpenFailure, DisconnectedError, FailureException,
-                      NoSuchObjectError)
+                      NoSuchObjectError, ServerBusyFailure, TimeoutFailure)
 from ..net.address import NodeId
 from ..net.resilience import TRANSPORT_FAILURES
 from ..sim.events import Signal, Sleep, Wait
@@ -74,8 +74,9 @@ __all__ = ["FetchPlanner", "FetchPipeline", "FetchResult", "rank_hosts",
 VALIDATION_MODES = ("none", "locations", "probe")
 
 #: Failures that may divert a batch to replica copies — transport
-#: faults and tripped breakers; anything else is a real answer.
-_DIVERTABLE = TRANSPORT_FAILURES + (CircuitOpenFailure,)
+#: faults, tripped breakers, and admission sheds (an overloaded home's
+#: replicas may well have headroom); anything else is a real answer.
+_DIVERTABLE = TRANSPORT_FAILURES + (CircuitOpenFailure, ServerBusyFailure)
 
 
 def rank_hosts(net, origin: NodeId, hosts: Iterable[NodeId]) -> tuple[NodeId, ...]:
@@ -492,7 +493,13 @@ class FetchPipeline:
             yield from self._execute(batch)
 
     def _form_batch(self) -> Optional[list[Element]]:
-        budget = self.window - self._in_flight
+        window = self.window
+        limiter = self.repo.limiter
+        if limiter is not None:
+            # The AIMD window is a *cap*, not a floor: congestion shrinks
+            # the effective in-flight budget below the static window.
+            window = min(window, limiter.window)
+        budget = window - self._in_flight
         if budget <= 0:
             return None
         head: Optional[Element] = None
@@ -541,9 +548,11 @@ class FetchPipeline:
             outcomes = yield from self.repo._call(home, "get_objects", oids)
         except FailureException as exc:
             self._tracer.finish(span, outcome=type(exc).__name__)
+            self._feed_limiter(exc, span.duration)
             yield from self._batch_failed(batch, exc, issue_epoch, issued_at)
             return
         self._tracer.finish(span, outcome="ok")
+        self._feed_limiter(None, span.duration)
         self._m_latency.observe(span.duration)
         for element, (status, value) in zip(batch, outcomes):
             self._m_fetch_latency.observe(self.world.now - issued_at)
@@ -585,12 +594,14 @@ class FetchPipeline:
             return
         except FailureException as exc:
             self._tracer.finish(span, outcome=type(exc).__name__)
+            self._feed_limiter(exc, span.duration)
             # Every racer lost to a fault, not to latency: the patient
             # failover sweep / retry bookkeeping takes over.
             yield from self._batch_failed([element], exc, issue_epoch,
                                           issued_at)
             return
         self._tracer.finish(span, outcome="ok")
+        self._feed_limiter(None, span.duration)
         self._m_latency.observe(span.duration)
         self._m_fetch_latency.observe(self.world.now - issued_at)
         self._settle_ok(element, value, issue_epoch)
@@ -647,6 +658,23 @@ class FetchPipeline:
             unresolved.extend(remaining)
         return unresolved
 
+    def _feed_limiter(self, exc: Optional[FailureException],
+                      latency: float) -> None:
+        """Report one batch outcome to the client's AIMD window.
+
+        Sheds and timeouts are congestion evidence (multiplicative
+        decrease); clean completions are room-to-grow evidence
+        (additive increase).  Other failures — crash, partition,
+        application errors — say nothing about *load* and feed nothing.
+        """
+        limiter = self.repo.limiter
+        if limiter is None:
+            return
+        if exc is None:
+            limiter.on_success(latency, self.world.now)
+        elif isinstance(exc, (ServerBusyFailure, TimeoutFailure)):
+            limiter.on_overload(self.world.now)
+
     def _element_failed(self, element: Element, exc: FailureException) -> None:
         if self.retry_interval is None:
             # Iterator mode: the iterator owns the retry policy.
@@ -675,9 +703,12 @@ class FetchPipeline:
             self.retries += 1
             self._m_retries.value += 1
             # Back in the queue, no longer in flight: release its slot
-            # of the window so other work can proceed meanwhile.
+            # of the window so other work can proceed meanwhile.  A
+            # shedding server's retry_after floors the comeback time.
             self._in_flight -= 1
-            self._retry.append((now + self.retry_interval, element))
+            wait = max(self.retry_interval,
+                       getattr(exc, "retry_after", 0.0) or 0.0)
+            self._retry.append((now + wait, element))
 
     # ------------------------------------------------------------------
     def _settle_ok(self, element: Element, value: Any, issue_epoch: int) -> None:

@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator
 
 from ..errors import FailureException, SimulationError
+from ..net.executor import PRIORITY_LOW
 from ..net.resilience import ResilientClient, RetryPolicy
 from ..sim.events import Sleep
 from .server import ObjectServer, batch_add_step, batch_erase_step, erase_step
@@ -171,9 +172,12 @@ class RecoveryManager:
                 else:
                     if not net.node(server.node_id).up:
                         return False
+                    # Repair traffic rides the background admission
+                    # class: it must not crowd out client work on an
+                    # already-struggling server.
                     yield from self.client.call(
                         server.node_id, holder, ObjectServer.SERVICE,
-                        "delete_object", element.oid,
+                        "delete_object", element.oid, priority=PRIORITY_LOW,
                     )
             except (FailureException, SimulationError):
                 self._m_blocked.inc()
@@ -355,6 +359,7 @@ class RepairDaemon:
                 return None
             alive = yield from self.client.call(
                 server.node_id, holder, ObjectServer.SERVICE, "has_object", oid,
+                priority=PRIORITY_LOW,
             )
             return bool(alive)
         except (FailureException, SimulationError):
@@ -369,6 +374,7 @@ class RepairDaemon:
                 return False
             yield from self.client.call(
                 server.node_id, holder, ObjectServer.SERVICE, "delete_object", oid,
+                priority=PRIORITY_LOW,
             )
             return True
         except (FailureException, SimulationError):

@@ -15,7 +15,7 @@ from typing import Any, Generator, Iterable, Optional
 from ..errors import (CircuitOpenFailure, DisconnectedError, FailureException,
                       UnreachableObjectFailure)
 from ..net.address import NodeId
-from ..net.resilience import TRANSPORT_FAILURES, ResilientClient
+from ..net.resilience import TRANSPORT_FAILURES, AdaptiveLimiter, ResilientClient
 from .cache import ClientCache
 from .elements import Element, fresh_oid
 from .fetchplan import rank_hosts
@@ -28,22 +28,39 @@ __all__ = ["Repository", "MembershipView"]
 _iter_tokens = itertools.count(1)
 
 
+def _unpack_snapshot(reply) -> tuple[int, tuple, bool]:
+    """Normalize a ``list_members`` reply.
+
+    A fresh read replies ``(version, members)``; a brownout read
+    (served by an overloaded server's degraded path) replies
+    ``(version, members, True)``.
+    """
+    if len(reply) == 3:
+        return reply[0], reply[1], bool(reply[2])
+    version, members = reply
+    return version, members, False
+
+
 class MembershipView:
     """A membership snapshot as read from some host (maybe stale)."""
 
-    __slots__ = ("coll_id", "version", "members", "source", "read_at")
+    __slots__ = ("coll_id", "version", "members", "source", "read_at", "stale")
 
     def __init__(self, coll_id: str, version: int, members: frozenset[Element],
-                 source: NodeId, read_at: float):
+                 source: NodeId, read_at: float, stale: bool = False):
         self.coll_id = coll_id
         self.version = version
         self.members = members
         self.source = source
         self.read_at = read_at
+        #: True when an overloaded server answered from its last
+        #: committed snapshot (brownout) instead of doing a fresh read.
+        self.stale = stale
 
     def __repr__(self) -> str:
+        degraded = ", stale" if self.stale else ""
         return (f"MembershipView({self.coll_id}, v{self.version}, "
-                f"{len(self.members)} members from {self.source})")
+                f"{len(self.members)} members from {self.source}{degraded})")
 
 
 class Repository:
@@ -52,13 +69,17 @@ class Repository:
     def __init__(self, world: World, client: NodeId,
                  cache: Optional[ClientCache] = None,
                  rpc_timeout: Optional[float] = None,
-                 resilience: Optional[ResilientClient] = None):
+                 resilience: Optional[ResilientClient] = None,
+                 limiter: Optional[AdaptiveLimiter] = None):
         self.world = world
         self.net = world.net
         self.client = client
         self.cache = cache
         self.rpc_timeout = rpc_timeout
         self.resilience = resilience
+        #: AIMD adaptive-concurrency window shared by this client's
+        #: fetch and write pipelines (None = static windows only).
+        self.limiter = limiter
         self.offline = None               # set by OfflineClient.attach
         self.obs = self.net.kernel.obs
         metrics = self.obs.metrics
@@ -136,20 +157,23 @@ class Repository:
                 # Tail-latency insurance: race the two closest replicas,
                 # first snapshot wins.  Staleness is already allowed by
                 # the weak-set spec, so any replica's answer is valid.
-                version, members = yield from self.resilience.hedged_call(
+                reply = yield from self.resilience.hedged_call(
                     self.client, ranked[:2], ObjectServer.SERVICE,
                     "list_members", coll_id, timeout=self.rpc_timeout)
+                version, members, degraded = _unpack_snapshot(reply)
                 host = self.resilience.last_winner or ranked[0]
                 view = MembershipView(coll_id, version, frozenset(members),
-                                      host, self.world.now)
+                                      host, self.world.now, stale=degraded)
                 if self.cache is not None:
                     self.cache.put(("membership", coll_id), view, self.world.now)
                 return view
             host = ranked[0]
         else:
             host = source
-        version, members = yield from self._call(host, "list_members", coll_id)
-        view = MembershipView(coll_id, version, frozenset(members), host, self.world.now)
+        reply = yield from self._call(host, "list_members", coll_id)
+        version, members, degraded = _unpack_snapshot(reply)
+        view = MembershipView(coll_id, version, frozenset(members), host,
+                              self.world.now, stale=degraded)
         if self.cache is not None:
             self.cache.put(("membership", coll_id), view, self.world.now)
         return view

@@ -115,6 +115,16 @@ class ObjectServer:
 
     SERVICE = "store"
 
+    #: Brownout table consumed by the bounded executor: when the
+    #: admission queue runs deep, a ``list_members`` request is answered
+    #: by ``list_members_stale`` — synchronously, from the last
+    #: committed snapshot, skipping the queue and the service time.
+    #: Degrading freshness instead of availability is *legal* for a
+    #: weak set: reads are already allowed to return stale views
+    #: (fig. 1 permits value staleness; the reply is tagged so callers
+    #: and conformance audits can tell).
+    DEGRADED_METHODS = {"list_members": "list_members_stale"}
+
     def __init__(self, node_id: NodeId, world: "World"):
         self.node_id = node_id
         self.world = world
@@ -272,6 +282,17 @@ class ObjectServer:
         """Membership snapshot as (version, members); may be stale here."""
         yield Sleep(self.world.service_time)
         return self._coll(coll_id).snapshot()
+
+    def list_members_stale(self, coll_id: str) -> tuple[int, tuple[Element, ...], bool]:
+        """Brownout read: last committed snapshot, zero service time.
+
+        Invoked synchronously by the admission layer when this server is
+        overloaded (see :attr:`DEGRADED_METHODS`).  The trailing ``True``
+        marks the reply as degraded-stale so repositories can surface it
+        on the :class:`~repro.store.repository.MembershipView`.
+        """
+        version, members = self._coll(coll_id).snapshot()
+        return version, members, True
 
     def collection_version(self, coll_id: str) -> int:
         return self._coll(coll_id).version

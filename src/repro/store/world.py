@@ -27,6 +27,7 @@ from typing import Any, Callable, Iterable, Optional
 
 from ..errors import NoSuchCollectionError, SimulationError
 from ..net.address import NodeId
+from ..net.executor import BoundedExecutor, ExecutorPolicy
 from ..net.fabric import Network
 from ..net.resilience import ResilientClient, RetryPolicy
 from .antientropy import AntiEntropySyncer
@@ -57,7 +58,8 @@ class World:
 
     def __init__(self, net: Network, *, service_time: float = 0.002,
                  bandwidth: float = 10_000_000.0, replica_lag: float = 0.5,
-                 recovery_enabled: bool = True, scrub_interval: float = 2.0):
+                 recovery_enabled: bool = True, scrub_interval: float = 2.0,
+                 executor: Optional[ExecutorPolicy] = None):
         """
         Args:
             net: the simulated network to install servers on.
@@ -71,6 +73,9 @@ class World:
                 ``False`` is the E18 ablation: crashes still interrupt
                 multi-step mutations, but nothing rolls them forward.
             scrub_interval: period of the background repair daemon.
+            executor: admission-control policy installed on every node
+                (finite worker pool + bounded queue + shedding); None
+                keeps the seed model of unbounded server concurrency.
         """
         self.net = net
         self.kernel = net.kernel
@@ -79,6 +84,7 @@ class World:
         self.replica_lag = replica_lag
         self.recovery_enabled = recovery_enabled
         self.scrub_interval = scrub_interval
+        self.executor_policy = executor
         self.servers: dict[NodeId, ObjectServer] = {}
         self.collections: dict[str, CollectionInfo] = {}
         self._listeners: list[Callable[[], None]] = []
@@ -95,6 +101,9 @@ class World:
             server = ObjectServer(node, self)
             self.servers[node] = server
             net.register_service(node, ObjectServer.SERVICE, server)
+            if executor is not None and executor.enabled:
+                net.node(node).executor = BoundedExecutor(
+                    self.kernel, executor, name=str(node))
         net.on_connectivity_change(self._notify)
 
     @property

@@ -56,7 +56,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Generator, Optional, Sequence
 
-from ..errors import FailureException, StoreError
+from ..errors import (FailureException, ServerBusyFailure, StoreError,
+                      TimeoutFailure)
 from ..net.address import NodeId
 from ..sim.events import Fork, Join, Signal, Wait
 from .elements import Element, ObjectId, fresh_oid
@@ -296,6 +297,12 @@ class WritePipeline:
                 and not self._remove_todo and self._active == 0)
 
     def _next_batch(self) -> Optional[tuple[str, list[_WriteOp]]]:
+        limiter = self.repo.limiter
+        if limiter is not None and self._active >= limiter.window:
+            # AIMD congestion gate: the client's adaptive window caps
+            # how many operations may be inside workers at once, below
+            # the static worker count when servers are shedding.
+            return None
         # Finish started work first: membership registrations complete
         # operations (and free drain() waiters) fastest.
         if self._member_todo:
@@ -353,12 +360,28 @@ class WritePipeline:
     def _put_child(self, dest: NodeId,
                    entries: list[tuple[ObjectId, Any, int]],
                    outcomes: dict) -> Generator:
+        issued_at = self.world.now
         try:
             yield from self.repo._call(dest, "put_objects", tuple(entries))
         except FailureException as exc:
+            self._feed_limiter(exc, self.world.now - issued_at)
             outcomes[dest] = exc
             return
+        self._feed_limiter(None, self.world.now - issued_at)
         outcomes[dest] = None
+
+    def _feed_limiter(self, exc: Optional[BaseException],
+                      latency: float) -> None:
+        """Report one batch-RPC outcome to the client's AIMD window
+        (the fetch pipeline's congestion-evidence rule: sheds and
+        timeouts shrink it, clean completions grow it)."""
+        limiter = self.repo.limiter
+        if limiter is None:
+            return
+        if exc is None:
+            limiter.on_success(latency, self.world.now)
+        elif isinstance(exc, (ServerBusyFailure, TimeoutFailure)):
+            limiter.on_overload(self.world.now)
 
     # -- stage 2: membership registration, group-committed ----------------
     def _execute_add_members(self, ops: list[_WriteOp]) -> Generator:
@@ -375,6 +398,7 @@ class WritePipeline:
                                        self.coll_id, elements)
         except (FailureException, StoreError) as exc:
             self._tracer.finish(span, outcome=type(exc).__name__)
+            self._feed_limiter(exc, span.duration)
             # Ambiguous (lost ack) or rejected (name conflict fails the
             # whole batch): resolve toward deletion — see module
             # docstring for why cleanup-vs-rollforward races converge.
@@ -384,6 +408,7 @@ class WritePipeline:
                 self._settle(op, ok=False, error=exc)
             return
         self._tracer.finish(span, outcome="ok")
+        self._feed_limiter(None, span.duration)
         self._m_latency.observe(span.duration)
         for op in ops:
             self._settle(op, ok=True)
@@ -402,12 +427,14 @@ class WritePipeline:
                                        self.coll_id, elements)
         except (FailureException, StoreError) as exc:
             self._tracer.finish(span, outcome=type(exc).__name__)
+            self._feed_limiter(exc, span.duration)
             # Removal is idempotent; the server commits any fully-erased
             # prefix, so a plain retry of the same elements is safe.
             for op in ops:
                 self._settle(op, ok=False, error=exc)
             return
         self._tracer.finish(span, outcome="ok")
+        self._feed_limiter(None, span.duration)
         self._m_latency.observe(span.duration)
         for op in ops:
             self._settle(op, ok=True)

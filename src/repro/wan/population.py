@@ -128,18 +128,34 @@ class StageResult:
     index: int
     name: str
     target_rate: float
+    duration: float = 0.0
     arrivals: int = 0
     completions: int = 0
     failures: int = 0
     audit_violations: int = 0
     p95_latency: float = 0.0
+    p95_ok_latency: float = 0.0
     violations: tuple[str, ...] = ()
     _latencies: list = field(default_factory=list, repr=False)
+    _ok_latencies: list = field(default_factory=list, repr=False)
 
     @property
     def failure_rate(self) -> float:
         done = self.completions
         return (self.failures / done) if done else 0.0
+
+    @property
+    def goodput(self) -> float:
+        """Successful sessions per second of stage wall-clock.
+
+        *The* overload curve: offered load keeps climbing open-loop,
+        but goodput is what the service actually delivers.  A protected
+        server's goodput plateaus at capacity; a collapsing one's falls
+        as work is wasted on doomed retries and timed-out completions.
+        """
+        if self.duration <= 0.0:
+            return 0.0
+        return (self.completions - self.failures) / self.duration
 
     @property
     def slo_ok(self) -> bool:
@@ -203,7 +219,7 @@ class PopulationEngine:
         self.stream = self.kernel.stream("population.arrivals")
         self.stage_results: list[StageResult] = [
             StageResult(index=i, name=s.name or f"stage-{i}",
-                        target_rate=s.arrival_rate)
+                        target_rate=s.arrival_rate, duration=s.duration)
             for i, s in enumerate(spec.stages)
         ]
         self.active = 0
@@ -330,6 +346,8 @@ class PopulationEngine:
             self._m_failures.inc()
             self._b_failures[behavior.name].inc()
             result.failures += 1
+        else:
+            result._ok_latencies.append(elapsed)
 
     def _audited_iteration(self, result: StageResult) -> Generator:
         """A recorded full iteration, conformance-checked on the spot."""
@@ -351,6 +369,10 @@ class PopulationEngine:
             if latencies:
                 rank = max(0, math.ceil(0.95 * len(latencies)) - 1)
                 result.p95_latency = latencies[rank]
+            ok_latencies = sorted(result._ok_latencies)
+            if ok_latencies:
+                rank = max(0, math.ceil(0.95 * len(ok_latencies)) - 1)
+                result.p95_ok_latency = ok_latencies[rank]
             violations = []
             if result.failure_rate > stage.max_failure_rate:
                 violations.append(

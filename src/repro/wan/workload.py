@@ -17,6 +17,7 @@ from typing import Generator, Optional
 from ..errors import FailureException
 from ..net.address import NodeId
 from ..net.fabric import Network
+from ..net.executor import ExecutorPolicy
 from ..net.failures import FaultInjector, FaultPlan
 from ..net.link import FixedLatency, ParetoLatency
 from ..net.topology import wan_clusters
@@ -67,6 +68,10 @@ class ScenarioSpec:
     offline_duration: float = 1.0           # mean seconds per offline stint
     dc_partition_rate: float = 0.0          # correlated whole-cluster
                                             # partitions per group-second
+    # -- overload protection (E23) -------------------------------------
+    executor: Optional[ExecutorPolicy] = None   # server admission control
+                                                # (None = unbounded seed
+                                                # concurrency)
 
     @property
     def client(self) -> NodeId:
@@ -127,7 +132,8 @@ def build_scenario(spec: ScenarioSpec, seed: int = 0) -> Scenario:
     world = World(net, service_time=spec.service_time,
                   replica_lag=spec.replica_lag,
                   recovery_enabled=spec.recovery_enabled,
-                  scrub_interval=spec.scrub_interval)
+                  scrub_interval=spec.scrub_interval,
+                  executor=spec.executor)
     replica_nodes = [f"n{c}.0" for c in range(1, 1 + spec.replicas)]
     world.create_collection(spec.coll_id, primary=spec.primary,
                             replicas=replica_nodes, policy=spec.policy)

@@ -212,6 +212,10 @@ def test_metric_direction_heuristic():
     assert metric_direction("bytes_yielded") == "lower"
     assert metric_direction("cache_hits") == "higher"
     assert metric_direction("version") == "neutral"
+    # bare percentile columns are latencies by table convention, and the
+    # 'ok' in a successes-only percentile must not read as higher-better
+    assert metric_direction("p95_s") == "lower"
+    assert metric_direction("p95_ok_s") == "lower"
 
 
 def test_compare_neutral_field_moves_are_regressions_both_ways(tmp_path):
