@@ -34,6 +34,7 @@ from .exp_population import run_kernel_throughput, run_population
 from .exp_recovery import run_recovery
 from .exp_resilience import run_resilience
 from .exp_scale import run_scale
+from .exp_sharding import run_sharding
 from .exp_system import run_system
 from .exp_writepipe import run_writepipe
 from .exp_static import PAPER_TAXONOMY, run_reachability, run_taxonomy
@@ -75,6 +76,7 @@ __all__ = [
     "run_resilience",
     "run_reachability",
     "run_scale",
+    "run_sharding",
     "run_staleness",
     "run_system",
     "run_taxonomy",
@@ -115,4 +117,5 @@ ALL_EXPERIMENTS = {
     "E22": run_population,
     "E22a": run_kernel_throughput,
     "E23": run_overload,
+    "E24": run_sharding,
 }

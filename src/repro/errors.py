@@ -26,6 +26,7 @@ __all__ = [
     "LockUnavailableFailure",
     "CircuitOpenFailure",
     "ServerBusyFailure",
+    "WrongShardFailure",
     "SimulationError",
     "ProcessKilled",
     "SpecificationError",
@@ -146,6 +147,24 @@ class ServerBusyFailure(FailureException):
                  retry_after: float = 0.0):
         super().__init__(reason)
         self.retry_after = retry_after
+
+
+class WrongShardFailure(FailureException):
+    """The addressed shard does not own this element's registry entry.
+
+    Answered by a shard server whose consistent-hash ring says another
+    node owns the key — the client resolved a :class:`ShardMap` that a
+    rebalance cutover has since superseded.  Deliberately *not* in the
+    resilience layer's retryable set: retrying the same host cannot
+    succeed; the caller must re-resolve the map and re-route (the
+    repository's mutation funnels do exactly that).  ``owner`` carries
+    the responding server's best guess at the current owner.
+    """
+
+    def __init__(self, reason: str = "wrong shard",
+                 owner: "str | None" = None):
+        super().__init__(reason)
+        self.owner = owner
 
 
 class SimulationError(ReproError):

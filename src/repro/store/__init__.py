@@ -29,6 +29,7 @@ from .server import (
     batch_erase_step,
     erase_step,
 )
+from .sharding import HashRing, ShardMap, shard_state_id
 from .wal import IntentLog, IntentRecord
 from .world import CollectionInfo, World
 from .writeplan import AddSpec, WritePipeline, WritePlanner, WriteResult
@@ -44,6 +45,7 @@ __all__ = [
     "FetchPlanner",
     "FetchResult",
     "Figure2",
+    "HashRing",
     "IntentLog",
     "IntentRecord",
     "MembershipView",
@@ -57,6 +59,7 @@ __all__ = [
     "RecoveryManager",
     "RepairDaemon",
     "Repository",
+    "ShardMap",
     "StoredObject",
     "World",
     "WritePipeline",
@@ -70,4 +73,5 @@ __all__ = [
     "fresh_oid",
     "order_closest_first",
     "rank_hosts",
+    "shard_state_id",
 ]

@@ -63,16 +63,35 @@ def apply_delta(state: CollectionState, delta: dict) -> int:
 
 
 class AntiEntropySyncer:
-    """One replica's pull loop for one collection."""
+    """One replica's pull loop for one collection (or one shard of one).
 
-    def __init__(self, world: "World", info: "CollectionInfo", replica: NodeId):
+    For an unsharded collection the syncer pulls from the primary and
+    applies to the replica's state under the plain collection id.  For a
+    sharded collection each mirror node runs one syncer *per shard*:
+    ``source`` is the shard server and ``state_id`` the namespaced
+    mirror id (:func:`~repro.store.sharding.shard_state_id`), so one
+    mirror follows every partition through the identical pull protocol.
+
+    A rebalance that drops a migrated range does so without tombstones
+    (see :meth:`~repro.store.server.ObjectServer.drop_range`), bumping
+    the partition's ``epoch`` instead; a syncer that observes a new
+    epoch discards its local copy and re-pulls from version 0 — a full
+    resync, paid only at cutover.
+    """
+
+    def __init__(self, world: "World", info: "CollectionInfo", replica: NodeId,
+                 source: "NodeId | None" = None,
+                 state_id: "str | None" = None):
         self.world = world
         self.info = info
         self.replica = replica
+        self.source = source if source is not None else info.primary
+        self.state_id = state_id if state_id is not None else info.coll_id
         metrics = world.kernel.obs.metrics
         self._m_rounds = metrics.counter("sync.rounds")
         self._m_failures = metrics.counter("sync.failures")
         self._m_entries = metrics.counter("sync.entries")
+        self._m_resyncs = metrics.counter("sync.epoch_resyncs")
 
     def run(self) -> Generator:
         """The syncer process (spawned as a daemon by the world)."""
@@ -84,15 +103,16 @@ class AntiEntropySyncer:
             yield Sleep(period)
             if not net.node(self.replica).up:
                 continue   # a crashed replica cannot pull; it catches up on recovery
-            state = server.collections[self.info.coll_id]
+            state = server.collections[self.state_id]
             span = tracer.start("sync.round", coll=self.info.coll_id,
-                                replica=str(self.replica))
+                                replica=str(self.replica),
+                                source=str(self.source))
             try:
                 # Background-class admission priority: under overload,
                 # anti-entropy yields to client reads rather than
                 # competing with them (aging still prevents starvation).
                 delta = yield from self.world.sync_client.call(
-                    self.replica, self.info.primary, "store", "sync_delta",
+                    self.replica, self.source, "store", "sync_delta",
                     self.info.coll_id, state.version, timeout=period,
                     priority=PRIORITY_LOW,
                 )
@@ -104,6 +124,32 @@ class AntiEntropySyncer:
                 self._m_failures.inc()
                 tracer.finish(span, outcome=type(exc).__name__)
                 continue
+            epoch = delta.get("epoch", 0)
+            if epoch != state.epoch:
+                # The source dropped a migrated range without tombstones;
+                # our copy may list members it no longer owns.  Discard
+                # and re-pull from scratch under the new epoch.
+                self._m_resyncs.inc()
+                state.members.clear()
+                state.member_versions.clear()
+                state.removed.clear()
+                state.unverified_removals.clear()
+                state.ghosts = set()
+                state.version = 0
+                state.epoch = epoch
+                try:
+                    delta = yield from self.world.sync_client.call(
+                        self.replica, self.source, "store", "sync_delta",
+                        self.info.coll_id, 0, timeout=period,
+                        priority=PRIORITY_LOW,
+                    )
+                except (FailureException, SimulationError) as exc:
+                    # Re-pull next period; the cleared state is safe
+                    # (empty is always a legal stale view).
+                    self._m_failures.inc()
+                    tracer.finish(span, outcome=type(exc).__name__)
+                    continue
+                state.epoch = delta.get("epoch", 0)
             applied = apply_delta(state, delta)
             self._m_rounds.inc()
             if applied:

@@ -225,15 +225,17 @@ class RepairDaemon:
             retried = yield from self._retry_pending()
             healed = orphans = 0
             for coll_id in sorted(self.world.collections):
-                info = self.world.collections[coll_id]
-                if not self.world.net.node(info.primary).up:
-                    continue
-                server = self.world.servers[info.primary]
-                state = server.collections.get(coll_id)
-                if state is None or not state.is_primary:
-                    continue
-                healed += yield from self._heal_dangling(server, state)
-                orphans += yield from self._verify_removals(server, state)
+                # One scrub per authoritative partition: the single home
+                # of a classic collection, or every shard (including a
+                # migration target) of a sharded one.
+                for shard, state in self.world.partition_states(coll_id):
+                    if not self.world.net.node(shard).up:
+                        continue
+                    if not state.is_primary:
+                        continue
+                    server = self.world.servers[shard]
+                    healed += yield from self._heal_dangling(server, state)
+                    orphans += yield from self._verify_removals(server, state)
             gcd = yield from self._collect_orphan_objects()
             tracer.finish(span, retried=retried, healed=healed, orphans=orphans,
                           gcd=gcd)
@@ -256,10 +258,11 @@ class RepairDaemon:
         names = sorted(state.members)
         if not names:
             return 0
-        cursor = self._cursors.get(state.coll_id, 0)
+        cursor_key = f"{state.coll_id}@{server.node_id}"
+        cursor = self._cursors.get(cursor_key, 0)
         window = [names[(cursor + i) % len(names)]
                   for i in range(min(self.PROBE_BUDGET, len(names)))]
-        self._cursors[state.coll_id] = (cursor + len(window)) % len(names)
+        self._cursors[cursor_key] = (cursor + len(window)) % len(names)
         healed = 0
         for name in window:
             element = state.members.get(name)
@@ -320,14 +323,12 @@ class RepairDaemon:
         """
         grace = self.world.scrub_interval * self.ORPHAN_GRACE_ROUNDS
         referenced: set = set()
-        for coll_id, info in self.world.collections.items():
-            state = self.world.servers[info.primary].collections.get(coll_id)
-            if state is None:
-                continue
-            for element in state.members.values():
-                referenced.add(element.oid)
-            for _, element in state.removed.values():
-                referenced.add(element.oid)
+        for coll_id in self.world.collections:
+            for _, state in self.world.partition_states(coll_id):
+                for element in state.members.values():
+                    referenced.add(element.oid)
+                for _, element in state.removed.values():
+                    referenced.add(element.oid)
         for server in self.world.servers.values():
             for record in server.wal.pending():
                 if record.element is not None:

@@ -13,13 +13,15 @@ import itertools
 from typing import Any, Generator, Iterable, Optional
 
 from ..errors import (CircuitOpenFailure, DisconnectedError, FailureException,
-                      UnreachableObjectFailure)
+                      UnreachableObjectFailure, WrongShardFailure)
 from ..net.address import NodeId
 from ..net.resilience import TRANSPORT_FAILURES, AdaptiveLimiter, ResilientClient
+from ..sim.events import Fork, Join
 from .cache import ClientCache
 from .elements import Element, fresh_oid
 from .fetchplan import rank_hosts
 from .server import ObjectServer
+from .sharding import shard_state_id
 from .world import World
 from .writeplan import AddSpec, WritePipeline, WriteResult
 
@@ -44,10 +46,12 @@ def _unpack_snapshot(reply) -> tuple[int, tuple, bool]:
 class MembershipView:
     """A membership snapshot as read from some host (maybe stale)."""
 
-    __slots__ = ("coll_id", "version", "members", "source", "read_at", "stale")
+    __slots__ = ("coll_id", "version", "members", "source", "read_at",
+                 "stale", "shard_versions")
 
     def __init__(self, coll_id: str, version: int, members: frozenset[Element],
-                 source: NodeId, read_at: float, stale: bool = False):
+                 source: NodeId, read_at: float, stale: bool = False,
+                 shard_versions: Optional[dict] = None):
         self.coll_id = coll_id
         self.version = version
         self.members = members
@@ -56,6 +60,10 @@ class MembershipView:
         #: True when an overloaded server answered from its last
         #: committed snapshot (brownout) instead of doing a fresh read.
         self.stale = stale
+        #: For a sharded collection: the per-shard partition versions this
+        #: view was assembled from (``version`` is their sum).  None when
+        #: the collection has a single home.
+        self.shard_versions = shard_versions
 
     def __repr__(self) -> str:
         degraded = ", stale" if self.stale else ""
@@ -90,6 +98,14 @@ class Repository:
         self._m_orphan_cleanups = metrics.counter("write.orphan_cleanups")
         self._m_stale_served = metrics.counter("offline.stale_served")
         self._m_stale_age = metrics.histogram("offline.read_age")
+        self._m_scatter_reads = metrics.counter("shard.scatter_reads")
+        self._m_scatter_retries = metrics.counter("shard.scatter_retries")
+        self._m_fence_rereads = metrics.counter("shard.fence_rereads")
+        self._m_reroutes = metrics.counter("shard.write_reroutes")
+        #: per-collection, per-shard high-water marks of authoritative
+        #: partition versions this client has observed — the fence that
+        #: keeps a mirror read from silently travelling backwards.
+        self._shard_fences: dict[str, dict[NodeId, int]] = {}
 
     @property
     def disconnected(self) -> bool:
@@ -105,6 +121,36 @@ class Repository:
 
     def primary_of(self, coll_id: str) -> NodeId:
         return self.world.collection_info(coll_id).primary
+
+    def shard_map_of(self, coll_id: str):
+        """The collection's :class:`~repro.store.sharding.ShardMap`
+        (None when it has a single home)."""
+        return self.world.collection_info(coll_id).shard_map
+
+    def owner_of(self, coll_id: str, name: str) -> NodeId:
+        """The node owning ``name``'s registry entry — the shard the
+        current ring maps it to, or the single primary."""
+        smap = self.shard_map_of(coll_id)
+        if smap is not None:
+            return smap.shard_of(name)
+        return self.primary_of(coll_id)
+
+    def lock_nodes(self, coll_id: str) -> tuple[NodeId, ...]:
+        """Nodes whose locks guard this collection, in canonical *ring
+        order* — every client walks the same cycle, so cross-shard lock
+        acquisition is deadlock-free.  A single home means one lock."""
+        smap = self.shard_map_of(coll_id)
+        if smap is not None:
+            return smap.ring.ordered_nodes()
+        return (self.primary_of(coll_id),)
+
+    def shard_hosts(self, coll_id: str, shard: NodeId) -> tuple[NodeId, ...]:
+        """Hosts serving ``shard``'s partition: the shard itself plus
+        every mirror node (used by the quorum read protocol)."""
+        info = self.world.collection_info(coll_id)
+        if info.shard_map is None:
+            return info.hosts
+        return (shard,) + info.replicas
 
     def nearest_host(self, coll_id: str) -> Optional[NodeId]:
         """The reachable host with the lowest expected latency, if any."""
@@ -143,6 +189,8 @@ class Repository:
                 # view is at the moment a drain consumes it.
                 self._m_membership_age.observe(self.world.now - cached.read_at)
                 return cached
+        if self.shard_map_of(coll_id) is not None:
+            return (yield from self._read_sharded(coll_id, source))
         if source == "primary":
             host = self.primary_of(coll_id)
         elif source == "nearest":
@@ -177,6 +225,133 @@ class Repository:
         if self.cache is not None:
             self.cache.put(("membership", coll_id), view, self.world.now)
         return view
+
+    # -- cross-shard scatter-gather reads ------------------------------
+    def _read_sharded(self, coll_id: str,
+                      source: str) -> Generator[Any, Any, MembershipView]:
+        """Assemble one membership view from every shard of ``coll_id``.
+
+        All shards are required (a weak set may be stale, but a view
+        silently missing a whole key range would *invent* removals), so
+        the read scatters to every shard concurrently and gathers with a
+        barrier.  Two fences keep the result coherent:
+
+        * **generation fence** — the map's ``generation`` is snapshotted
+          before the fan-out; if a rebalance cut over underneath, the
+          whole read is retried rather than returning a view torn
+          across two rings;
+        * **per-shard version fence** — a mirror answering below the
+          partition version this client has already observed triggers an
+          authoritative re-read from the shard itself, so one client's
+          view of any single shard never travels backwards.
+        """
+        info = self.world.collection_info(coll_id)
+        smap = info.shard_map
+        self._m_scatter_reads.value += 1
+        last_failure: Optional[FailureException] = None
+        for _ in range(4):
+            generation = smap.generation
+            shards = smap.shards
+            results: dict[NodeId, Any] = {}
+            if len(shards) == 1:
+                yield from self._gather_one(coll_id, shards[0], source, results)
+            else:
+                children = []
+                for shard in shards:
+                    child = yield Fork(
+                        self._gather_one(coll_id, shard, source, results),
+                        name=f"scatter:{coll_id}:{shard}")
+                    children.append(child)
+                for child in children:
+                    yield Join(child)
+            if smap.generation != generation:
+                # A cutover landed mid-read: per-shard replies straddle
+                # two rings.  Retry against the new map.
+                self._m_scatter_retries.value += 1
+                continue
+            failures = [r for r in results.values()
+                        if isinstance(r, FailureException)]
+            if failures:
+                last_failure = failures[0]
+                raise last_failure
+            merged: dict[str, Element] = {}
+            shard_versions: dict[NodeId, int] = {}
+            any_stale = False
+            for shard in shards:
+                version, members, degraded = results[shard]
+                shard_versions[shard] = version
+                any_stale = any_stale or degraded
+                for element in members:
+                    merged[element.name] = element
+            view = MembershipView(
+                coll_id, sum(shard_versions.values()),
+                frozenset(merged.values()), self.client, self.world.now,
+                stale=any_stale, shard_versions=dict(shard_versions))
+            if self.cache is not None:
+                self.cache.put(("membership", coll_id), view, self.world.now)
+            return view
+        raise (last_failure or FailureException(
+            f"cross-shard read of {coll_id!r} kept tearing across rebalances"))
+
+    def _gather_one(self, coll_id: str, shard: NodeId, source: str,
+                    results: dict) -> Generator[Any, Any, None]:
+        """Read one shard's partition into ``results`` (its own failures
+        are captured, not raised — the gather barrier inspects them)."""
+        try:
+            results[shard] = yield from self._read_one_shard(
+                coll_id, shard, source)
+        except FailureException as exc:
+            results[shard] = exc
+
+    def _read_one_shard(
+        self, coll_id: str, shard: NodeId, source: str
+    ) -> Generator[Any, Any, tuple[int, tuple, bool]]:
+        info = self.world.collection_info(coll_id)
+        if source == "primary" or source == shard:
+            host, state_id = shard, coll_id
+        elif source == "nearest":
+            ranked = self._rank((shard,) + info.replicas)
+            if not ranked:
+                raise UnreachableObjectFailure(
+                    f"no host of {coll_id!r}'s shard {shard} is reachable "
+                    f"from {self.client}")
+            host = ranked[0]
+            state_id = (coll_id if host == shard
+                        else shard_state_id(coll_id, shard))
+        elif source in info.replicas:
+            host, state_id = source, shard_state_id(coll_id, shard)
+        else:
+            # An explicit node that serves no partition of this shard:
+            # fall back to the authoritative owner.
+            host, state_id = shard, coll_id
+        reply = yield from self._call(host, "list_members", state_id)
+        version, members, degraded = _unpack_snapshot(reply)
+        fences = self._shard_fences.setdefault(coll_id, {})
+        if host != shard and version < fences.get(shard, 0):
+            # The mirror is behind a partition version this client has
+            # already seen: re-read authoritatively rather than let the
+            # per-shard view travel backwards.
+            self._m_fence_rereads.value += 1
+            reply = yield from self._call(shard, "list_members", coll_id)
+            version, members, degraded = _unpack_snapshot(reply)
+            host = shard
+        if host == shard and version > fences.get(shard, 0):
+            fences[shard] = version
+        return version, tuple(members), degraded
+
+    def read_shard_membership(
+        self, coll_id: str, shard: NodeId, host: NodeId
+    ) -> Generator[Any, Any, MembershipView]:
+        """Read one shard's partition from one specific host — the shard
+        itself (authoritative) or a mirror (its namespaced alias state).
+        The quorum protocol builds its per-shard majorities from these."""
+        info = self.world.collection_info(coll_id)
+        state_id = (coll_id if (info.shard_map is None or host == shard)
+                    else shard_state_id(coll_id, shard))
+        reply = yield from self._call(host, "list_members", state_id)
+        version, members, degraded = _unpack_snapshot(reply)
+        return MembershipView(coll_id, version, frozenset(members), host,
+                              self.world.now, stale=degraded)
 
     # -- stale-while-offline serving -----------------------------------
     def _stale_membership(self, coll_id: str) -> MembershipView:
@@ -312,7 +487,7 @@ class Repository:
         then register membership.  Replica copies are written before the
         member becomes visible, so the failover invariant — live copy
         implies member — holds from the element's first instant."""
-        home = home if home is not None else self.primary_of(coll_id)
+        home = home if home is not None else self.owner_of(coll_id, name)
         replicas = tuple(r for r in replicas if r != home)
         element = Element(name=name, oid=fresh_oid(name), home=home,
                           replicas=replicas)
@@ -323,8 +498,7 @@ class Repository:
                 yield from self._call(replica, "put_object", element.oid,
                                       value, size)
                 placed.append(replica)
-            yield from self._call(self.primary_of(coll_id), "add_member",
-                                  coll_id, element)
+            yield from self._mutate_member(coll_id, "add_member", element)
         except FailureException:
             # A copy landed but the element never became (provably) a
             # member: reclaim the copies so the failed add leaves no
@@ -352,7 +526,26 @@ class Repository:
                 pass
 
     def remove(self, coll_id: str, element: Element) -> Generator[Any, Any, None]:
-        yield from self._call(self.primary_of(coll_id), "remove_member", coll_id, element)
+        yield from self._mutate_member(coll_id, "remove_member", element)
+
+    def _mutate_member(self, coll_id: str, method: str,
+                       element: Element) -> Generator[Any, Any, Any]:
+        """Route a membership mutation to the element's owning node.
+
+        ``WrongShardFailure`` means the placement this client resolved
+        was superseded by a rebalance cutover between resolution and
+        serve time; it is deliberately not retried by the resilience
+        layer (same host cannot succeed), so the funnel re-resolves the
+        live map and re-routes — one extra hop per cutover raced."""
+        last: Optional[WrongShardFailure] = None
+        for _ in range(4):
+            owner = self.owner_of(coll_id, element.name)
+            try:
+                return (yield from self._call(owner, method, coll_id, element))
+            except WrongShardFailure as exc:
+                self._m_reroutes.value += 1
+                last = exc
+        raise last
 
     # ------------------------------------------------------------------
     # bulk writes (batched + pipelined; see repro.store.writeplan)
@@ -434,20 +627,46 @@ class Repository:
                                     size, replicas=element.replicas))
 
     def seal(self, coll_id: str) -> Generator[Any, Any, None]:
-        yield from self._call(self.primary_of(coll_id), "seal_collection", coll_id)
+        """Seal the collection — every shard of a sharded one, in ring
+        order (one home otherwise)."""
+        for node in self.lock_nodes(coll_id):
+            yield from self._call(node, "seal_collection", coll_id)
 
     # ------------------------------------------------------------------
     # §3.3 iteration registration
     # ------------------------------------------------------------------
+    def _registration_nodes(self, coll_id: str) -> tuple[NodeId, ...]:
+        """Where iteration tokens must be registered: every node holding
+        an authoritative partition (including a migration target, which
+        must keep deferring removals for in-flight runs)."""
+        if self.shard_map_of(coll_id) is None:
+            return (self.primary_of(coll_id),)
+        return self.world.partition_nodes(coll_id)
+
     def begin_iteration(self, coll_id: str) -> Generator[Any, Any, str]:
         token = f"iter-{self.client}-{next(_iter_tokens)}"
-        yield from self._call(self.primary_of(coll_id), "begin_iteration", coll_id, token)
+        registered: list[NodeId] = []
+        try:
+            for node in self._registration_nodes(coll_id):
+                yield from self._call(node, "begin_iteration", coll_id, token)
+                registered.append(node)
+        except FailureException:
+            # Partial registration would pin ghosts forever on the nodes
+            # that did hear us: best-effort deregister, then propagate.
+            for node in registered:
+                try:
+                    yield from self._call_once(node, "end_iteration",
+                                               coll_id, token)
+                except FailureException:
+                    pass
+            raise
         return token
 
     def end_iteration(self, coll_id: str, token: str) -> Generator[Any, Any, int]:
-        return (yield from self._call(
-            self.primary_of(coll_id), "end_iteration", coll_id, token
-        ))
+        purged = 0
+        for node in self._registration_nodes(coll_id):
+            purged += yield from self._call(node, "end_iteration", coll_id, token)
+        return purged
 
     # ------------------------------------------------------------------
     def _call(self, host: NodeId, method: str, *args: Any) -> Generator[Any, Any, Any]:

@@ -32,15 +32,17 @@ model file servers, not RAM caches).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Generator, Sequence
+from typing import TYPE_CHECKING, Any, Generator, Iterable, Optional, Sequence
 
 from ..errors import (
     FailureException,
     MutationNotAllowed,
     NoSuchCollectionError,
     NoSuchObjectError,
+    ServerBusyFailure,
     SimulationError,
     UnreachableObjectFailure,
+    WrongShardFailure,
 )
 from ..net.address import NodeId
 from ..sim.events import Sleep
@@ -48,6 +50,7 @@ from .elements import Element, ObjectId, StoredObject
 from .wal import IntentLog, IntentRecord
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .sharding import HashRing
     from .world import World
 
 __all__ = ["ObjectServer", "CollectionState", "POLICIES", "erase_step",
@@ -101,6 +104,15 @@ class CollectionState:
     removed: dict[str, tuple[int, Element]] = field(default_factory=dict)
     #: removals whose holders the scrubber has not yet probed for orphans.
     unverified_removals: set[str] = field(default_factory=set)
+    #: bumped when a rebalance drops a migrated range *without* tombstones;
+    #: a mirror seeing a new epoch discards its copy and re-pulls from 0
+    #: (tombstoning moved members would make the repair scrubber delete
+    #: their still-live data objects).
+    epoch: int = 0
+    #: while a rebalance is cutting over, the target ring: mutations on
+    #: names this node is *losing* answer ServerBusyFailure (retry soon,
+    #: against the new owner) instead of mutating a doomed range.
+    freeze_ring: Optional["HashRing"] = None
 
     def value(self) -> frozenset[Element]:
         """The set's current value (ghosts are still members until purged)."""
@@ -329,14 +341,52 @@ class ObjectServer:
             "ghosts": tuple(sorted(state.ghosts)),
             "adds": adds,
             "removes": removes,
+            "epoch": state.epoch,
+            "active_iterations": tuple(sorted(state.active_iterations)),
         }
 
     # ------------------------------------------------------------------
     # collections: mutation (primary only)
     # ------------------------------------------------------------------
+    #: retry_after answered while a migrating range is frozen: the
+    #: cutover window is a few RPCs long, so retries come back quickly.
+    MIGRATION_RETRY_AFTER = 0.05
+
+    def _shard_guard(self, state: CollectionState,
+                     names: Iterable[str]) -> None:
+        """Reject mutations this shard must not apply.
+
+        For a sharded collection a mutation is legal here only if this
+        node owns every named key under the current ring
+        (:class:`WrongShardFailure` otherwise — the client's map is
+        stale and must be re-resolved, never retried in place).  While a
+        rebalance is cutting over, keys this node is *losing* under
+        ``freeze_ring`` answer :class:`ServerBusyFailure` instead: the
+        range is quiesced for its final delta, and the retried write
+        will land on the new owner right after the ring swap.
+        """
+        info = self.world.collections.get(state.coll_id)
+        smap = getattr(info, "shard_map", None)
+        if smap is not None:
+            for name in names:
+                owner = smap.shard_of(name)
+                if owner != self.node_id:
+                    raise WrongShardFailure(
+                        f"{state.coll_id}:{name!r} is owned by {owner}, "
+                        f"not {self.node_id}", owner=owner)
+        ring = state.freeze_ring
+        if ring is not None:
+            for name in names:
+                if ring.owner(name) != self.node_id:
+                    raise ServerBusyFailure(
+                        f"{state.coll_id}:{name!r} is migrating off "
+                        f"{self.node_id}",
+                        retry_after=self.MIGRATION_RETRY_AFTER)
+
     def add_member(self, coll_id: str, element: Element) -> Generator[Any, Any, int]:
         yield Sleep(self.world.service_time)
         state = self._primary(coll_id)
+        self._shard_guard(state, (element.name,))
         if state.sealed:
             raise MutationNotAllowed(f"{coll_id} is sealed (immutable)")
         if element.name in state.members:
@@ -362,6 +412,7 @@ class ObjectServer:
         """
         yield Sleep(self.world.service_time)
         state = self._primary(coll_id)
+        self._shard_guard(state, (element.name,))
         if state.policy == "grow-only":
             raise MutationNotAllowed(f"{coll_id} is grow-only; remove rejected")
         if state.sealed or state.policy == "immutable":
@@ -463,6 +514,7 @@ class ObjectServer:
         """
         yield Sleep(self.world.service_time)
         state = self._primary(coll_id)
+        self._shard_guard(state, [e.name for e in elements])
         if state.sealed:
             raise MutationNotAllowed(f"{coll_id} is sealed (immutable)")
         to_add: list[Element] = []
@@ -531,6 +583,7 @@ class ObjectServer:
         """
         yield Sleep(self.world.service_time)
         state = self._primary(coll_id)
+        self._shard_guard(state, [e.name for e in elements])
         if state.policy == "grow-only":
             raise MutationNotAllowed(f"{coll_id} is grow-only; remove rejected")
         if state.sealed or state.policy == "immutable":
@@ -651,6 +704,112 @@ class ObjectServer:
                     # pending — a later end_iteration will retry the purge.
                     continue
         return purged
+
+    # ------------------------------------------------------------------
+    # shard migration (rebalance coordinator RPCs)
+    # ------------------------------------------------------------------
+    def absorb_handoff(
+        self, coll_id: str,
+        adds: Sequence[tuple[str, Element]],
+        removes: Sequence[tuple[str, Element]] = (),
+        ghosts: Sequence[str] = (),
+        iterations: Sequence[str] = (),
+    ) -> Generator[Any, Any, int]:
+        """Absorb migrated registry entries shipped by a rebalance.
+
+        The coordinator pulls the source shard's ``sync_delta``, filters
+        it to the keys this node gains under the target ring, and ships
+        them here.  Idempotent by construction (keyed upserts), so the
+        coordinator may replay the whole handoff after any crash:
+        tombstones land first (marked unverified so the scrubber still
+        probes their holders), then members, then the ghost marks and
+        iteration registrations the §3.3 protocol needs to keep deferring
+        removals across the move.  All absorbed entries share one version
+        bump — to the collection's mirrors the handoff is one sync jump.
+        """
+        yield Sleep(self.world.service_time)
+        state = self._primary(coll_id)
+        incoming = state.version + 1
+        applied = 0
+        for name, element in removes:
+            if name in state.removed:
+                continue
+            if state.members.get(name) == element:
+                state.members.pop(name, None)
+                state.member_versions.pop(name, None)
+                state.ghosts.discard(name)
+            state.removed[name] = (incoming, element)
+            state.unverified_removals.add(name)
+            applied += 1
+        for name, element in adds:
+            if state.members.get(name) == element:
+                continue
+            state.members[name] = element
+            state.member_versions[name] = incoming
+            applied += 1
+        for name in ghosts:
+            if name in state.members:
+                state.ghosts.add(name)
+        state.active_iterations.update(iterations)
+        if applied:
+            state.version = incoming
+            self.world._membership_changed(coll_id)
+        return applied
+
+    def freeze_range(self, coll_id: str,
+                     ring: "HashRing") -> Generator[Any, Any, None]:
+        """Quiesce the keys this node loses under ``ring`` (the target
+        ring of an in-flight rebalance): mutations on them answer
+        ``ServerBusyFailure`` until cutover, so the final delta the
+        coordinator pulls is provably the last word on the moving range."""
+        yield Sleep(self.world.service_time)
+        state = self._primary(coll_id)
+        state.freeze_ring = ring
+
+    def unfreeze_range(self, coll_id: str) -> Generator[Any, Any, None]:
+        """Lift a freeze (rebalance aborted and will be retried)."""
+        yield Sleep(self.world.service_time)
+        state = self._primary(coll_id)
+        state.freeze_ring = None
+
+    def drop_range(self, coll_id: str,
+                   ring: "HashRing") -> Generator[Any, Any, int]:
+        """Post-cutover cleanup: forget every entry this node no longer
+        owns under ``ring`` (now the collection's current ring).
+
+        Dropped members get **no tombstones** — they are alive at their
+        new shard, and a tombstone here would make the repair scrubber
+        delete their still-live data objects.  Instead the partition's
+        ``epoch`` is bumped, which tells this shard's mirrors (via
+        ``sync_delta``) to discard their copy and re-pull from scratch —
+        the only sound way to shrink a mirror without tombstones.
+        """
+        yield Sleep(self.world.service_time)
+        state = self._primary(coll_id)
+        dropped = 0
+        for name in [n for n in state.members
+                     if ring.owner(n) != self.node_id]:
+            state.members.pop(name, None)
+            state.member_versions.pop(name, None)
+            state.ghosts.discard(name)
+            dropped += 1
+        for name in [n for n in state.removed
+                     if ring.owner(n) != self.node_id]:
+            state.removed.pop(name, None)
+            state.unverified_removals.discard(name)
+        state.freeze_ring = None
+        if dropped:
+            state.version += 1
+            state.epoch += 1
+            self.world._membership_changed(coll_id)
+        return dropped
+
+    def pending_intents(self, coll_id: str) -> Generator[Any, Any, int]:
+        """How many WAL intents for ``coll_id`` are still pending here —
+        the coordinator's quiescence probe before freezing a range."""
+        yield Sleep(self.world.service_time)
+        return sum(1 for record in self.wal.pending()
+                   if record.coll_id == coll_id)
 
     # ------------------------------------------------------------------
     # registration plumbing (called by World, not over RPC)

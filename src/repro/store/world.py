@@ -23,17 +23,19 @@ RPC (:class:`~repro.store.repository.Repository`) like honest clients.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, Optional
 
-from ..errors import NoSuchCollectionError, SimulationError
+from ..errors import FailureException, NoSuchCollectionError, SimulationError
 from ..net.address import NodeId
 from ..net.executor import BoundedExecutor, ExecutorPolicy
 from ..net.fabric import Network
 from ..net.resilience import ResilientClient, RetryPolicy
+from ..sim.events import Sleep
 from .antientropy import AntiEntropySyncer
 from .elements import Element, fresh_oid
 from .recovery import RecoveryManager, RepairDaemon
-from .server import ObjectServer
+from .server import CollectionState, ObjectServer
+from .sharding import HashRing, ShardMap, shard_state_id
 
 __all__ = ["World", "CollectionInfo"]
 
@@ -47,10 +49,25 @@ class CollectionInfo:
     replicas: tuple[NodeId, ...]
     policy: str
     history: list[tuple[float, frozenset[Element]]] = field(default_factory=list)
+    #: placement of a *sharded* registry (None = classic single home).
+    #: The primary of a sharded collection is its first shard — the
+    #: rebalance coordinator and the anchor for iteration registration.
+    shard_map: Optional[ShardMap] = None
 
     @property
     def hosts(self) -> tuple[NodeId, ...]:
         return (self.primary,) + self.replicas
+
+    @property
+    def is_sharded(self) -> bool:
+        return self.shard_map is not None
+
+    @property
+    def shards(self) -> tuple[NodeId, ...]:
+        """Current shard servers (just the primary when unsharded)."""
+        if self.shard_map is None:
+            return (self.primary,)
+        return self.shard_map.shards
 
 
 class World:
@@ -118,30 +135,89 @@ class World:
     # ------------------------------------------------------------------
     # collection management
     # ------------------------------------------------------------------
-    def create_collection(self, coll_id: str, primary: NodeId,
+    def create_collection(self, coll_id: str, primary: Optional[NodeId] = None,
                           replicas: Iterable[NodeId] = (),
-                          policy: str = "any") -> CollectionInfo:
-        """Create an empty collection with a primary and optional replicas."""
+                          policy: str = "any", *,
+                          shards: Iterable[NodeId] = (),
+                          ring_seed: int = 0,
+                          vnodes: int = 16) -> CollectionInfo:
+        """Create an empty collection.
+
+        Classic form: a single ``primary`` home plus lazily-synchronized
+        ``replicas``.  Sharded form: pass ``shards`` — the membership
+        registry is partitioned across them by a consistent-hash ring
+        (``ring_seed``/``vnodes`` parameterize placement), ``primary``
+        defaults to the first shard (the rebalance coordinator), and
+        each node in ``replicas`` *mirrors every shard's partition*
+        under the namespaced id :func:`~repro.store.sharding.shard_state_id`
+        via one anti-entropy pull loop per (mirror, shard) pair.
+        """
         if coll_id in self.collections:
             raise SimulationError(f"collection {coll_id!r} already exists")
         replicas = tuple(replicas)
+        if len(set(replicas)) != len(replicas):
+            raise SimulationError(
+                f"duplicate node ids in replicas: {replicas!r}")
+        shards = tuple(shards)
+        shard_map: Optional[ShardMap] = None
+        if shards:
+            ring = HashRing(shards, vnodes=vnodes, seed=ring_seed)
+            shard_map = ShardMap(ring=ring)
+            if primary is None:
+                primary = shards[0]
+            if primary not in ring:
+                raise SimulationError(
+                    "the primary of a sharded collection must be one of "
+                    f"its shards ({primary!r} not in {sorted(shards)})")
+            overlap = set(shards) & set(replicas)
+            if overlap:
+                raise SimulationError(
+                    f"nodes {sorted(overlap)} are both shards and replicas")
+        elif primary is None:
+            raise SimulationError("create_collection needs a primary or shards")
         if primary in replicas:
             raise SimulationError("primary must not also be listed as a replica")
-        self.servers[primary].host_collection(coll_id, policy, is_primary=True)
-        for node in replicas:
-            self.servers[node].host_collection(coll_id, policy, is_primary=False)
-        info = CollectionInfo(coll_id, primary, replicas, policy)
+        if shard_map is not None:
+            for shard in shard_map.shards:
+                self.servers[shard].host_collection(
+                    coll_id, policy, is_primary=True)
+        else:
+            self.servers[primary].host_collection(coll_id, policy, is_primary=True)
+            for node in replicas:
+                self.servers[node].host_collection(coll_id, policy, is_primary=False)
+        info = CollectionInfo(coll_id, primary, replicas, policy,
+                              shard_map=shard_map)
         info.history.append((self.now, frozenset()))
         self.collections[coll_id] = info
-        for node in replicas:
-            syncer = AntiEntropySyncer(self, info, node)
-            self.kernel.spawn(
-                syncer.run(), name=f"sync:{coll_id}:{node}", daemon=True
-            )
+        if shard_map is not None:
+            for node in replicas:
+                for shard in shard_map.shards:
+                    self._host_mirror(info, node, shard)
+        else:
+            for node in replicas:
+                syncer = AntiEntropySyncer(self, info, node)
+                self.kernel.spawn(
+                    syncer.run(), name=f"sync:{coll_id}:{node}", daemon=True
+                )
         if self.recovery_enabled and self.repair is None:
             self.repair = RepairDaemon(self)
             self.kernel.spawn(self.repair.run(), name="repair-scrub", daemon=True)
         return info
+
+    def _host_mirror(self, info: CollectionInfo, node: NodeId,
+                     shard: NodeId) -> None:
+        """Host shard ``shard``'s mirror partition on ``node`` and start
+        its per-shard anti-entropy pull loop."""
+        alias = shard_state_id(info.coll_id, shard)
+        if alias in self.servers[node].collections:
+            return
+        self.servers[node].host_collection(alias, info.policy, is_primary=False)
+        syncer = AntiEntropySyncer(self, info, node, source=shard,
+                                   state_id=alias)
+        self.kernel.spawn(
+            syncer.run(), name=f"sync:{info.coll_id}:{node}:{shard}",
+            daemon=True,
+        )
 
     def seed_member(self, coll_id: str, name: str, value: Any = None,
                     home: Optional[NodeId] = None, size: int = 0,
@@ -155,21 +231,25 @@ class World:
         starts consistent.
         """
         info = self._info(coll_id)
-        home = home if home is not None else info.primary
+        owner = (info.shard_map.shard_of(name) if info.shard_map is not None
+                 else info.primary)
+        home = home if home is not None else owner
         object_replicas = tuple(r for r in replicas if r != home)
         element = Element(name=name, oid=fresh_oid(name), home=home,
                           replicas=object_replicas)
         self.servers[home].store_direct(element, value, size)
         for node in object_replicas:
             self.servers[node].store_direct(element, value, size)
-        primary_state = self.servers[info.primary].collections[coll_id]
+        primary_state = self.servers[owner].collections[coll_id]
         if name in primary_state.members:
             raise SimulationError(f"{coll_id} already has member {name!r}")
         primary_state.members[name] = element
         primary_state.version += 1
         primary_state.member_versions[name] = primary_state.version
+        mirror_id = (shard_state_id(coll_id, owner)
+                     if info.shard_map is not None else coll_id)
         for node in info.replicas:
-            replica_state = self.servers[node].collections[coll_id]
+            replica_state = self.servers[node].collections[mirror_id]
             replica_state.members[name] = element
             replica_state.member_versions[name] = primary_state.version
             replica_state.version = primary_state.version
@@ -179,16 +259,251 @@ class World:
     def seal(self, coll_id: str) -> None:
         """Instantly seal an immutable collection after seeding."""
         info = self._info(coll_id)
+        if info.shard_map is not None:
+            for shard in info.shard_map.shards:
+                self.servers[shard].collections[coll_id].sealed = True
+                for node in info.replicas:
+                    alias = shard_state_id(coll_id, shard)
+                    self.servers[node].collections[alias].sealed = True
+            return
         for node in info.hosts:
             self.servers[node].collections[coll_id].sealed = True
+
+    # ------------------------------------------------------------------
+    # live rebalancing (sharded collections)
+    # ------------------------------------------------------------------
+    def add_shard(self, coll_id: str, node: NodeId):
+        """Grow a sharded collection's ring by one node, live.
+
+        Spawns (and returns) the migration coordinator process; writes
+        continue throughout.  The protocol per losing source: pre-copy
+        the moving range via ``sync_delta``/``absorb_handoff``, wait for
+        WAL quiescence, freeze the moving keys (writes answer
+        ``ServerBusyFailure`` and retry), re-check quiescence, ship the
+        final delta, then cut the ring over atomically (one generation
+        bump) and drop the moved range at the source (epoch bump — its
+        mirrors re-pull from scratch).  Every phase is idempotent, so the
+        coordinator simply retries the whole migration after any crash
+        until it lands; ``check_invariants`` holds at every quiescent
+        point in between.
+        """
+        info = self._info(coll_id)
+        if info.shard_map is None:
+            raise SimulationError(f"{coll_id!r} is not sharded")
+        if node not in self.servers:
+            raise SimulationError(f"no server on node {node!r}")
+        return self._start_rebalance(info, info.shard_map.ring.with_node(node))
+
+    def remove_shard(self, coll_id: str, node: NodeId):
+        """Shrink a sharded collection's ring by one node, live (the
+        inverse of :meth:`add_shard`; same protocol, the leaving node is
+        a source for every key it holds).  The coordinator shard itself
+        cannot be removed."""
+        info = self._info(coll_id)
+        if info.shard_map is None:
+            raise SimulationError(f"{coll_id!r} is not sharded")
+        if node == info.primary:
+            raise SimulationError(
+                f"{node!r} is the coordinator shard of {coll_id!r}; "
+                "it cannot be removed")
+        return self._start_rebalance(info, info.shard_map.ring.without_node(node))
+
+    def _start_rebalance(self, info: CollectionInfo, target: HashRing):
+        smap = info.shard_map
+        assert smap is not None
+        if smap.migration is not None:
+            raise SimulationError(
+                f"a rebalance of {info.coll_id!r} is already in flight")
+        smap.migration = target
+        sealed = self.servers[info.primary].collections[info.coll_id].sealed
+        for shard in target.nodes:
+            if info.coll_id not in self.servers[shard].collections:
+                state = self.servers[shard].host_collection(
+                    info.coll_id, info.policy, is_primary=True)
+                state.sealed = sealed
+            for replica in info.replicas:
+                self._host_mirror(info, replica, shard)
+        return self.kernel.spawn(
+            self._rebalance(info, smap.ring, target),
+            name=f"rebalance:{info.coll_id}",
+        )
+
+    def _rebalance(self, info: CollectionInfo, old_ring: HashRing,
+                   target: HashRing) -> Generator:
+        """The migration coordinator process (runs at ``info.primary``)."""
+        coll_id = info.coll_id
+        metrics = self.kernel.obs.metrics
+        tracer = self.kernel.obs.tracer
+        span = tracer.start("shard.rebalance", coll=coll_id,
+                            to=",".join(str(n) for n in target.nodes))
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                yield from self._rebalance_once(info, old_ring, target)
+                break
+            except FailureException:
+                # A source or target was unreachable mid-phase (possibly
+                # a crash).  Unfreeze what we can, back off, and replay
+                # the migration from the top — every phase is idempotent.
+                metrics.counter("shard.rebalance_retries").inc()
+                for source in old_ring.nodes:
+                    try:
+                        yield from self.sync_client.call(
+                            info.primary, source, "store", "unfreeze_range",
+                            coll_id, timeout=1.0)
+                    except FailureException:
+                        pass
+                yield Sleep(min(2.0, 0.1 * (2 ** min(attempt, 4))))
+        # Post-cutover cleanup: drop the moved ranges at their sources.
+        # Retried independently — the ring has already cut over, so a
+        # crashed source just delays its drop until it recovers.
+        remaining = [n for n in old_ring.nodes]
+        while remaining:
+            source = remaining[0]
+            try:
+                yield from self.sync_client.call(
+                    info.primary, source, "store", "drop_range",
+                    coll_id, target, timeout=5.0)
+            except FailureException:
+                yield Sleep(0.25)
+                continue
+            remaining.pop(0)
+        metrics.counter("shard.rebalances").inc()
+        tracer.finish(span, outcome="ok", attempts=attempt)
+
+    def _rebalance_once(self, info: CollectionInfo, old_ring: HashRing,
+                        target: HashRing) -> Generator:
+        coll_id = info.coll_id
+        smap = info.shard_map
+        assert smap is not None
+        # Phase 1: pre-copy every source's full state, filtered to the
+        # keys it loses, while writes continue unimpeded.
+        precopy_version: dict[NodeId, int] = {}
+        for source in old_ring.ordered_nodes():
+            delta = yield from self.sync_client.call(
+                info.primary, source, "store", "sync_delta", coll_id, 0,
+                timeout=5.0)
+            precopy_version[source] = delta["version"]
+            yield from self._ship_handoff(info, source, delta, target)
+        # Phase 2: per source — quiesce the WAL, freeze the moving keys,
+        # re-check quiescence (an intent admitted before the freeze may
+        # still be mid-flight), then ship the final delta: provably the
+        # last word on the moving range.
+        for source in old_ring.ordered_nodes():
+            yield from self._wait_quiescent(info, source)
+            yield from self.sync_client.call(
+                info.primary, source, "store", "freeze_range", coll_id,
+                target, timeout=5.0)
+            yield from self._wait_quiescent(info, source)
+            delta = yield from self.sync_client.call(
+                info.primary, source, "store", "sync_delta", coll_id,
+                precopy_version[source], timeout=5.0)
+            yield from self._ship_handoff(info, source, delta, target)
+        # Phase 3: atomic cutover — one assignment visible to every
+        # client's next map resolution, fenced by the generation bump.
+        smap.ring = target
+        smap.generation += 1
+        smap.migration = None
+        self._membership_changed(coll_id)
+
+    def _ship_handoff(self, info: CollectionInfo, source: NodeId,
+                      delta: dict, target: HashRing) -> Generator:
+        """Ship the parts of ``source``'s delta that move under ``target``
+        to their gaining shards (idempotent keyed upserts)."""
+        coll_id = info.coll_id
+        gains: dict[NodeId, dict] = {}
+
+        def _bucket(node: NodeId) -> dict:
+            return gains.setdefault(node, {"adds": [], "removes": []})
+
+        for name, element, _version in delta["adds"]:
+            new_owner = target.owner(name)
+            if new_owner != source:
+                _bucket(new_owner)["adds"].append((name, element))
+        for name, _version, element in delta["removes"]:
+            new_owner = target.owner(name)
+            if new_owner != source:
+                _bucket(new_owner)["removes"].append((name, element))
+        ghosts = set(delta["ghosts"])
+        iterations = tuple(delta.get("active_iterations", ()))
+        for gaining in sorted(gains):
+            payload = gains[gaining]
+            moved_ghosts = tuple(sorted(
+                g for g in ghosts if target.owner(g) == gaining))
+            yield from self.sync_client.call(
+                info.primary, gaining, "store", "absorb_handoff", coll_id,
+                tuple(payload["adds"]), tuple(payload["removes"]),
+                moved_ghosts, iterations, timeout=5.0)
+
+    def _wait_quiescent(self, info: CollectionInfo,
+                        shard: NodeId) -> Generator:
+        """Poll ``shard`` until no WAL intent for this collection is
+        pending (bounded; raises FailureException so the coordinator's
+        retry loop takes over)."""
+        for _ in range(80):
+            pending = yield from self.sync_client.call(
+                info.primary, shard, "store", "pending_intents",
+                info.coll_id, timeout=2.0)
+            if pending == 0:
+                return
+            yield Sleep(0.05)
+        raise FailureException(
+            f"{shard} did not quiesce {info.coll_id!r} for migration")
 
     # ------------------------------------------------------------------
     # ground truth (the checker's God's-eye view; not used by clients)
     # ------------------------------------------------------------------
     def true_members(self, coll_id: str) -> frozenset[Element]:
-        """The paper's s_σ for the current state σ."""
+        """The paper's s_σ for the current state σ.
+
+        For a sharded collection each name's truth is what its *current
+        ring owner* lists: a pre-copied entry at a migration target, or
+        a not-yet-dropped entry at a post-cutover source, is a copy —
+        never authoritative — so a remove acknowledged by the owner is
+        never resurrected by a stale partition mid-rebalance.
+        """
+        return self._current_value(self._info(coll_id))
+
+    def _current_value(self, info: CollectionInfo) -> frozenset[Element]:
+        if info.shard_map is None:
+            return self.servers[info.primary].collections[info.coll_id].value()
+        ring = info.shard_map.ring
+        merged: dict[str, Element] = {}
+        for shard in ring.nodes:
+            state = self.servers[shard].collections.get(info.coll_id)
+            if state is None:
+                continue
+            for name, element in state.members.items():
+                if ring.owner(name) == shard:
+                    merged[name] = element
+        return frozenset(merged.values())
+
+    def partition_nodes(self, coll_id: str) -> tuple[NodeId, ...]:
+        """The nodes holding authoritative registry partitions right now:
+        the current ring, plus a migration target while one is pre-copying
+        (just the primary for an unsharded collection)."""
         info = self._info(coll_id)
-        return self.servers[info.primary].collections[coll_id].value()
+        if info.shard_map is None:
+            return (info.primary,)
+        nodes = list(info.shard_map.ring.nodes)
+        if info.shard_map.migration is not None:
+            for node in info.shard_map.migration.nodes:
+                if node not in nodes:
+                    nodes.append(node)
+        return tuple(nodes)
+
+    def partition_states(
+        self, coll_id: str
+    ) -> list[tuple[NodeId, "CollectionState"]]:
+        """``(node, state)`` for every authoritative partition currently
+        hosted — the iteration surface for repair, scrub, and invariants."""
+        pairs = []
+        for node in self.partition_nodes(coll_id):
+            state = self.servers[node].collections.get(coll_id)
+            if state is not None:
+                pairs.append((node, state))
+        return pairs
 
     def reachable_members(self, coll_id: str, observer: NodeId) -> frozenset[Element]:
         """The paper's reachable(s_σ): members whose data ``observer`` can reach."""
@@ -240,7 +555,7 @@ class World:
 
     def _membership_changed(self, coll_id: str) -> None:
         info = self._info(coll_id)
-        value = self.servers[info.primary].collections[coll_id].value()
+        value = self._current_value(info)
         if not info.history or info.history[-1][1] != value:
             info.history.append((self.now, value))
         self._notify()
@@ -262,45 +577,106 @@ class World:
         """
         problems: list[str] = []
         for coll_id, info in self.collections.items():
-            primary_state = self.servers[info.primary].collections[coll_id]
-            # 1. every member's data object exists at its home
-            for name, element in primary_state.members.items():
-                server = self.servers.get(element.home)
-                if server is None or not server.has_object(element.oid):
-                    problems.append(
-                        f"{coll_id}: member {element} has no live object at its home")
-            # 2. ghosts are pending members
-            for ghost_name in primary_state.ghosts:
-                if ghost_name not in primary_state.members:
-                    problems.append(
-                        f"{coll_id}: ghost {ghost_name!r} is not a member")
-            # 3. replicas never run ahead of the primary; an up-to-date
-            #    replica agrees exactly
+            partitions = self.partition_states(coll_id)
+            smap = info.shard_map
+            for shard, state in partitions:
+                # 1. every member's data object exists at its home
+                for name, element in state.members.items():
+                    server = self.servers.get(element.home)
+                    if server is None or not server.has_object(element.oid):
+                        problems.append(
+                            f"{coll_id}: member {element} has no live object at its home")
+                # 2. ghosts are pending members
+                for ghost_name in state.ghosts:
+                    if ghost_name not in state.members:
+                        problems.append(
+                            f"{coll_id}: ghost {ghost_name!r} is not a member")
+                # 5. crash consistency of removals: a tombstoned element
+                #    has no live copy anywhere (no orphans escaped the
+                #    erase or its roll-forward).  Skip a tombstone whose
+                #    exact element is currently a member again (a handoff
+                #    keeps the old tombstone next to the re-absorbed
+                #    member) — that element is alive, not an orphan.
+                current = self._current_value(info)
+                for name, (_, element) in state.removed.items():
+                    if element in current:
+                        continue
+                    for holder in element.locations:
+                        server = self.servers.get(holder)
+                        if server is not None and server.has_object(element.oid):
+                            problems.append(
+                                f"{coll_id}: removed element {element} still has a "
+                                f"live copy on {holder} (orphan)")
+            # 3. replicas/mirrors never run ahead of their source; an
+            #    up-to-date one agrees exactly
             for node in info.replicas:
-                replica_state = self.servers[node].collections[coll_id]
-                if replica_state.version > primary_state.version:
-                    problems.append(
-                        f"{coll_id}: replica {node} at v{replica_state.version} "
-                        f"is ahead of primary v{primary_state.version}")
-                elif (replica_state.version == primary_state.version
-                      and replica_state.members != primary_state.members):
-                    problems.append(
-                        f"{coll_id}: replica {node} disagrees with primary "
-                        "at the same version")
+                for shard, state in partitions:
+                    source_id = (shard_state_id(coll_id, shard)
+                                 if smap is not None else coll_id)
+                    replica_state = self.servers[node].collections.get(source_id)
+                    if replica_state is None:
+                        continue
+                    if (replica_state.version > state.version
+                            and replica_state.epoch == state.epoch):
+                        problems.append(
+                            f"{coll_id}: replica {node} at v{replica_state.version} "
+                            f"is ahead of primary {shard} v{state.version}")
+                    elif (replica_state.version == state.version
+                          and replica_state.epoch == state.epoch
+                          and replica_state.members != state.members):
+                        problems.append(
+                            f"{coll_id}: replica {node} disagrees with {shard} "
+                            "at the same version")
             # 4. the recorded history ends at the current truth
-            if info.history and info.history[-1][1] != primary_state.value():
+            if info.history and info.history[-1][1] != self._current_value(info):
                 problems.append(
                     f"{coll_id}: membership history is stale")
-            # 5. crash consistency of removals: a tombstoned element has
-            #    no live copy anywhere (no orphans escaped the erase or
-            #    its roll-forward)
-            for name, (_, element) in primary_state.removed.items():
-                for holder in element.locations:
-                    server = self.servers.get(holder)
-                    if server is not None and server.has_object(element.oid):
+            # 8. shard placement: every listed member sits at a shard the
+            #    map legitimizes (its current owner, or the pending owner
+            #    while a migration is pre-copying) — no orphaned entries,
+            #    no key owned by a node off the ring.
+            if smap is not None:
+                holders: dict[str, list[NodeId]] = {}
+                for shard, state in partitions:
+                    for name, element in state.members.items():
+                        holders.setdefault(name, []).append(shard)
+                        if shard not in smap.legitimate_holders(name):
+                            problems.append(
+                                f"{coll_id}: member {name!r} is listed at {shard}, "
+                                f"which does not own it "
+                                f"(owner {smap.shard_of(name)})")
+                # 9. no double-owned key: a name at two partitions is
+                #    legal only mid-migration (old owner + pending owner)
+                #    and only with identical elements.
+                for name, where in sorted(holders.items()):
+                    if len(where) <= 1:
+                        continue
+                    legit = smap.legitimate_holders(name)
+                    elements = {
+                        self.servers[s].collections[coll_id].members[name]
+                        for s in where
+                    }
+                    if not set(where) <= legit or len(elements) != 1:
                         problems.append(
-                            f"{coll_id}: removed element {element} still has a "
-                            f"live copy on {holder} (orphan)")
+                            f"{coll_id}: member {name!r} is double-owned "
+                            f"by {sorted(where)} (legitimate: {sorted(legit)})")
+                # 10. no orphaned range: every ring node hosts a
+                #     partition; a node off the ring holds no members
+                #     once its drop has settled.
+                hosted = {shard for shard, _ in partitions}
+                for shard in smap.shards:
+                    if shard not in hosted:
+                        problems.append(
+                            f"{coll_id}: ring node {shard} hosts no partition "
+                            "(orphaned key range)")
+                for node, server in sorted(self.servers.items()):
+                    if node in self.partition_nodes(coll_id):
+                        continue
+                    stale = server.collections.get(coll_id)
+                    if stale is not None and stale.is_primary and stale.members:
+                        problems.append(
+                            f"{coll_id}: {node} is off the ring but still lists "
+                            f"{len(stale.members)} members (undropped range)")
         # 6. no intent is left pending on an up node: at quiescence every
         #    interrupted mutation must have been rolled forward (by
         #    recovery or scrub) or cleanly aborted
@@ -319,11 +695,11 @@ class World:
         #    them).
         referenced: set = set()
         for coll_id, info in self.collections.items():
-            primary_state = self.servers[info.primary].collections[coll_id]
-            for element in primary_state.members.values():
-                referenced.add(element.oid)
-            for _, element in primary_state.removed.values():
-                referenced.add(element.oid)
+            for _, state in self.partition_states(coll_id):
+                for element in state.members.values():
+                    referenced.add(element.oid)
+                for _, element in state.removed.values():
+                    referenced.add(element.oid)
         for node, server in sorted(self.servers.items()):
             for record in server.wal.pending():
                 if record.element is not None:

@@ -57,7 +57,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Generator, Optional, Sequence
 
 from ..errors import (FailureException, ServerBusyFailure, StoreError,
-                      TimeoutFailure)
+                      TimeoutFailure, WrongShardFailure)
 from ..net.address import NodeId
 from ..sim.events import Fork, Join, Signal, Wait
 from .elements import Element, ObjectId, fresh_oid
@@ -234,7 +234,7 @@ class WritePipeline:
     def submit_add(self, spec: AddSpec) -> Element:
         """Enqueue one add; returns its (not yet registered) element."""
         home = spec.home if spec.home is not None \
-            else self.repo.primary_of(self.coll_id)
+            else self.repo.owner_of(self.coll_id, spec.name)
         replicas = tuple(r for r in spec.replicas if r != home)
         oid = spec.oid if spec.oid is not None else fresh_oid(spec.name)
         element = Element(name=spec.name, oid=oid, home=home, replicas=replicas)
@@ -385,59 +385,97 @@ class WritePipeline:
 
     # -- stage 2: membership registration, group-committed ----------------
     def _execute_add_members(self, ops: list[_WriteOp]) -> Generator:
-        primary = self.repo.primary_of(self.coll_id)
-        elements = tuple(op.element for op in ops)
-        self._m_calls.value += 1
-        self._m_elements.value += len(ops)
-        self._m_coalesced.value += len(ops) - 1
-        self._m_size.observe(len(ops))
-        span = self._tracer.start("write.batch", kind="add",
-                                  host=str(primary), n=len(ops))
-        try:
-            yield from self.repo._call(primary, "add_members",
-                                       self.coll_id, elements)
-        except (FailureException, StoreError) as exc:
-            self._tracer.finish(span, outcome=type(exc).__name__)
-            self._feed_limiter(exc, span.duration)
-            # Ambiguous (lost ack) or rejected (name conflict fails the
-            # whole batch): resolve toward deletion — see module
-            # docstring for why cleanup-vs-rollforward races converge.
-            for op in ops:
-                yield from self.repo._cleanup_orphans(
-                    op.element, op.element.locations)
-                self._settle(op, ok=False, error=exc)
-            return
-        self._tracer.finish(span, outcome="ok")
-        self._feed_limiter(None, span.duration)
-        self._m_latency.observe(span.duration)
-        for op in ops:
-            self._settle(op, ok=True)
+        yield from self._execute_member_batches(ops, "add_members", "add")
 
     def _execute_remove_members(self, ops: list[_WriteOp]) -> Generator:
-        primary = self.repo.primary_of(self.coll_id)
-        elements = tuple(op.element for op in ops)
+        yield from self._execute_member_batches(ops, "remove_members", "remove")
+
+    def _execute_member_batches(self, ops: list[_WriteOp], rpc: str,
+                                kind: str) -> Generator:
+        """Register (or remove) a batch's memberships, grouped by owner.
+
+        Against a single home this is exactly one group-committed batch
+        RPC — the pre-sharding behaviour.  Against a sharded registry
+        the operations are grouped by each element's owning shard and
+        every shard's sub-batch is issued **concurrently** (parallel
+        ``Fork`` children, barrier-joined), each under its own per-shard
+        WAL group commit.  A ``WrongShardFailure`` — the placement cut
+        over between planning and serve time — re-resolves the live map
+        and re-issues only the bounced sub-batch (bounded retries).
+        """
+        pending = list(ops)
+        last_bounce: Optional[WrongShardFailure] = None
+        for _ in range(3):
+            groups: dict[NodeId, list[_WriteOp]] = {}
+            for op in pending:
+                owner = self.repo.owner_of(self.coll_id, op.element.name)
+                groups.setdefault(owner, []).append(op)
+            outcomes: dict[NodeId, Optional[BaseException]] = {}
+            if len(groups) == 1:
+                owner, group = next(iter(groups.items()))
+                yield from self._member_child(owner, group, rpc, kind,
+                                              outcomes)
+            else:
+                children = []
+                for owner, group in sorted(groups.items()):
+                    child = yield Fork(
+                        self._member_child(owner, group, rpc, kind, outcomes),
+                        name=f"{self.name}-{kind}-{owner}", daemon=True)
+                    children.append(child)
+                for child in children:          # the barrier
+                    yield Join(child)
+            pending = []
+            for owner, group in sorted(groups.items()):
+                exc = outcomes[owner]
+                if exc is None:
+                    for op in group:
+                        self._settle(op, ok=True)
+                elif isinstance(exc, WrongShardFailure):
+                    self.repo._m_reroutes.value += 1
+                    last_bounce = exc
+                    pending.extend(group)
+                elif kind == "add":
+                    # Ambiguous (lost ack) or rejected (name conflict
+                    # fails its sub-batch): resolve toward deletion —
+                    # see module docstring for why cleanup-vs-rollforward
+                    # races converge.
+                    for op in group:
+                        yield from self.repo._cleanup_orphans(
+                            op.element, op.element.locations)
+                        self._settle(op, ok=False, error=exc)
+                else:
+                    # Removal is idempotent; the server commits any
+                    # fully-erased prefix, so a plain retry is safe.
+                    for op in group:
+                        self._settle(op, ok=False, error=exc)
+            if not pending:
+                return
+        for op in pending:
+            if kind == "add":
+                yield from self.repo._cleanup_orphans(
+                    op.element, op.element.locations)
+            self._settle(op, ok=False, error=last_bounce)
+
+    def _member_child(self, owner: NodeId, group: list[_WriteOp], rpc: str,
+                      kind: str, outcomes: dict) -> Generator:
+        elements = tuple(op.element for op in group)
         self._m_calls.value += 1
-        self._m_elements.value += len(ops)
-        self._m_coalesced.value += len(ops) - 1
-        self._m_size.observe(len(ops))
-        span = self._tracer.start("write.batch", kind="remove",
-                                  host=str(primary), n=len(ops))
+        self._m_elements.value += len(group)
+        self._m_coalesced.value += len(group) - 1
+        self._m_size.observe(len(group))
+        span = self._tracer.start("write.batch", kind=kind,
+                                  host=str(owner), n=len(group))
         try:
-            yield from self.repo._call(primary, "remove_members",
-                                       self.coll_id, elements)
+            yield from self.repo._call(owner, rpc, self.coll_id, elements)
         except (FailureException, StoreError) as exc:
             self._tracer.finish(span, outcome=type(exc).__name__)
             self._feed_limiter(exc, span.duration)
-            # Removal is idempotent; the server commits any fully-erased
-            # prefix, so a plain retry of the same elements is safe.
-            for op in ops:
-                self._settle(op, ok=False, error=exc)
+            outcomes[owner] = exc
             return
         self._tracer.finish(span, outcome="ok")
         self._feed_limiter(None, span.duration)
         self._m_latency.observe(span.duration)
-        for op in ops:
-            self._settle(op, ok=True)
+        outcomes[owner] = None
 
     # ------------------------------------------------------------------
     def _settle(self, op: _WriteOp, *, ok: bool,

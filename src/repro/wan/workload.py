@@ -72,6 +72,14 @@ class ScenarioSpec:
     executor: Optional[ExecutorPolicy] = None   # server admission control
                                                 # (None = unbounded seed
                                                 # concurrency)
+    # -- sharded membership (E24) --------------------------------------
+    shards: int = 0                         # 0 = classic single-primary
+                                            # registry; N>0 partitions the
+                                            # member registry over the
+                                            # first N nodes (slot-major,
+                                            # so shards spread across
+                                            # clusters before doubling up)
+    ring_vnodes: int = 16                   # virtual nodes per shard
 
     @property
     def client(self) -> NodeId:
@@ -80,6 +88,22 @@ class ScenarioSpec:
     @property
     def primary(self) -> NodeId:
         return "n0.0"
+
+    @property
+    def shard_nodes(self) -> tuple[NodeId, ...]:
+        """Shard servers, slot-major: n0.0, n1.0, … then n0.1, n1.1, …"""
+        ordered = [f"n{c}.{i}" for i in range(self.cluster_size)
+                   for c in range(self.n_clusters)]
+        return tuple(ordered[:self.shards])
+
+    @property
+    def replica_nodes(self) -> tuple[NodeId, ...]:
+        """Membership replicas; disjoint from :attr:`shard_nodes`."""
+        if self.shards > 0:
+            ordered = [f"n{c}.{i}" for i in range(self.cluster_size)
+                       for c in range(self.n_clusters)]
+            return tuple(ordered[self.shards:self.shards + self.replicas])
+        return tuple(f"n{c}.0" for c in range(1, 1 + self.replicas))
 
 
 @dataclass
@@ -134,9 +158,15 @@ def build_scenario(spec: ScenarioSpec, seed: int = 0) -> Scenario:
                   recovery_enabled=spec.recovery_enabled,
                   scrub_interval=spec.scrub_interval,
                   executor=spec.executor)
-    replica_nodes = [f"n{c}.0" for c in range(1, 1 + spec.replicas)]
-    world.create_collection(spec.coll_id, primary=spec.primary,
-                            replicas=replica_nodes, policy=spec.policy)
+    replica_nodes = list(spec.replica_nodes)
+    if spec.shards > 0:
+        shard_nodes = spec.shard_nodes
+        world.create_collection(spec.coll_id, primary=shard_nodes[0],
+                                replicas=replica_nodes, policy=spec.policy,
+                                shards=shard_nodes, vnodes=spec.ring_vnodes)
+    else:
+        world.create_collection(spec.coll_id, primary=spec.primary,
+                                replicas=replica_nodes, policy=spec.policy)
     plan = member_plan(spec, kernel)
     if spec.rpc_populate:
         # Populate like an honest client would: batched multi-puts with

@@ -24,7 +24,14 @@ from .immutable import (
     PerRunImmutableSet,
 )
 from .iterator import DrainResult, ElementsIterator
-from .locking import LockClient, LockService, install_lock_service
+from .locking import (
+    LockClient,
+    LockService,
+    acquire_collection_locks,
+    install_lock_service,
+    install_lock_services,
+    release_collection_locks,
+)
 from .query import QueryIterator, select
 from .quorum import QuorumGrowOnlyIterator, QuorumGrowOnlySet
 from .snapshot import SnapshotIterator, SnapshotSet
@@ -63,10 +70,13 @@ __all__ = [
     "UnionIterator",
     "WeakSet",
     "Yielded",
+    "acquire_collection_locks",
     "install_lock_service",
+    "install_lock_services",
     "iterate_until_stable",
     "make_weak_set",
     "policy_for",
+    "release_collection_locks",
     "select",
     "union",
     "weak_set_class",

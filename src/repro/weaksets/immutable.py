@@ -27,7 +27,11 @@ from typing import Any, Generator, Optional
 
 from ..spec.termination import Outcome, Returned, Yielded
 from .base import WeakSet
-from .locking import LockClient
+from .locking import (
+    LockClient,
+    acquire_collection_locks,
+    release_collection_locks,
+)
 from .snapshot import SnapshotIterator
 
 __all__ = ["ImmutableSet", "Figure1Iterator", "Figure1Set", "PerRunImmutableSet",
@@ -81,16 +85,19 @@ class PerRunImmutableIterator(SnapshotIterator):
 
     def __init__(self, *args: Any, **kwargs: Any):
         super().__init__(*args, **kwargs)
-        self._lock: Optional[LockClient] = None
+        self._locks: Optional[list[LockClient]] = None
 
     def _step(self) -> Generator[Any, Any, Outcome]:
-        if self._lock is None:
-            self._lock = LockClient(self.repo, self.coll_id)
-            yield from self._lock.acquire("read")
+        if self._locks is None:
+            # One lock per shard for sharded collections, taken in ring
+            # order (same order as every other pessimistic client).
+            self._locks = yield from acquire_collection_locks(
+                self.repo, self.coll_id, "read"
+            )
         outcome = yield from super()._step()
         if not isinstance(outcome, Yielded):
             # returns or fails: the run is over either way — release.
-            yield from self._lock.release_quietly()
+            yield from release_collection_locks(self._locks, quiet=True)
         return outcome
 
 

@@ -24,7 +24,14 @@ from ..sim.events import Signal, Sleep, Wait
 from ..store.repository import Repository
 from ..store.world import World
 
-__all__ = ["LockService", "LockClient", "install_lock_service"]
+__all__ = [
+    "LockService",
+    "LockClient",
+    "install_lock_service",
+    "install_lock_services",
+    "acquire_collection_locks",
+    "release_collection_locks",
+]
 
 _owner_ids = itertools.count(1)
 
@@ -185,17 +192,43 @@ def install_lock_service(world: World, node: str,
     return service
 
 
+def install_lock_services(world: World, coll_id: str,
+                          lease: Optional[float] = None,
+                          writer_priority: bool = False) -> dict[str, LockService]:
+    """Install one :class:`LockService` per lock node of ``coll_id``.
+
+    For an unsharded collection this is just the primary; for a sharded
+    one, every shard hosts the lock over its own key range.  Nodes that
+    already expose a lock service are left untouched.
+    """
+    services: dict[str, LockService] = {}
+    for node in world.collections[coll_id].shards:
+        existing = world.net.node(node).services.get(LockService.SERVICE)
+        if existing is None:
+            existing = install_lock_service(
+                world, node, lease=lease, writer_priority=writer_priority
+            )
+        services[node] = existing
+    return services
+
+
 class LockClient:
     """Client-side handle for one lock on one collection."""
 
-    def __init__(self, repo: Repository, coll_id: str):
+    def __init__(self, repo: Repository, coll_id: str, node: Optional[str] = None):
+        """``node`` pins the lock service host; default is the collection
+        primary (correct for unsharded collections — sharded ones need one
+        lock per shard, see :func:`acquire_collection_locks`)."""
         self.repo = repo
         self.coll_id = coll_id
+        self.node = node
         self.owner = f"{repo.client}#{next(_owner_ids)}"
         self.mode: Optional[str] = None
 
     @property
     def _lock_node(self) -> str:
+        if self.node is not None:
+            return self.node
         return self.repo.primary_of(self.coll_id)
 
     def acquire(self, mode: str, wait_timeout: Optional[float] = None,
@@ -224,3 +257,41 @@ class LockClient:
             yield from self.release()
         except FailureException:
             pass
+
+
+def acquire_collection_locks(
+    repo: Repository, coll_id: str, mode: str,
+    wait_timeout: Optional[float] = None,
+    rpc_timeout: Optional[float] = None,
+) -> Generator[Any, Any, list[LockClient]]:
+    """Acquire ``mode`` locks covering the whole collection.
+
+    Unsharded collections need one lock (on the primary); sharded ones
+    need one per shard, each guarding its own key range.  Locks are
+    taken in *ring order* — every client walks the shards in the same
+    deterministic sequence, so two pessimistic writers cannot deadlock
+    by grabbing shards in opposite orders.  On any failure the locks
+    already held are rolled back (in reverse) before the exception
+    propagates.
+    """
+    held: list[LockClient] = []
+    try:
+        for node in repo.lock_nodes(coll_id):
+            lock = LockClient(repo, coll_id, node=node)
+            yield from lock.acquire(mode, wait_timeout=wait_timeout,
+                                    rpc_timeout=rpc_timeout)
+            held.append(lock)
+    except BaseException:
+        yield from release_collection_locks(held, quiet=True)
+        raise
+    return held
+
+
+def release_collection_locks(locks, quiet: bool = False) -> Generator[Any, Any, None]:
+    """Release a set of locks in reverse acquisition order."""
+    ordered = list(locks)
+    for lock in reversed(ordered):
+        if quiet:
+            yield from lock.release_quietly()
+        else:
+            yield from lock.release()

@@ -22,7 +22,11 @@ from ..spec.termination import Failed, Outcome, Returned, Yielded
 from ..store.elements import Element
 from .base import WeakSet
 from .iterator import ElementsIterator
-from .locking import LockClient
+from .locking import (
+    LockClient,
+    acquire_collection_locks,
+    release_collection_locks,
+)
 
 __all__ = ["StrongIterator", "StrongSet"]
 
@@ -48,7 +52,7 @@ class StrongIterator(ElementsIterator):
         super().__init__(*args, **kwargs)
         self.lock_wait_timeout = lock_wait_timeout
         self.hold_lock_while_yielding = hold_lock_while_yielding
-        self._lock: Optional[LockClient] = None
+        self._locks: list[LockClient] = []
         self._loaded: Optional[list[tuple[Element, Any]]] = None
         self._cursor = 0
 
@@ -64,18 +68,24 @@ class StrongIterator(ElementsIterator):
             if self._cursor == len(self._loaded) and not self.hold_lock_while_yielding:
                 pass  # lock already dropped after load
             return Yielded(element, value)
-        if self._lock is not None:
-            lock, self._lock = self._lock, None
-            yield from lock.release_quietly()
+        if self._locks:
+            locks, self._locks = self._locks, []
+            yield from release_collection_locks(locks, quiet=True)
         return Returned()
 
     def _load_all(self) -> Generator[Any, Any, Optional[Outcome]]:
-        """Acquire the read lock and fetch every member, or abort."""
-        self._lock = LockClient(self.repo, self.coll_id)
+        """Acquire the read lock(s) and fetch every member, or abort.
+
+        A sharded collection has one lock per shard; they are taken in
+        ring order so concurrent strong writers cannot deadlock us.
+        """
         try:
-            yield from self._lock.acquire("read", wait_timeout=self.lock_wait_timeout)
+            self._locks = yield from acquire_collection_locks(
+                self.repo, self.coll_id, "read",
+                wait_timeout=self.lock_wait_timeout,
+            )
         except FailureException as exc:
-            self._lock = None
+            self._locks = []
             return Failed(f"read lock unavailable: {exc}")
         failure: Optional[str] = None
         loaded: list[tuple[Element, Any]] = []
@@ -98,13 +108,13 @@ class StrongIterator(ElementsIterator):
         except FailureException as exc:
             failure = str(exc)
         if failure is not None:
-            lock, self._lock = self._lock, None
-            yield from lock.release_quietly()
+            locks, self._locks = self._locks, []
+            yield from release_collection_locks(locks, quiet=True)
             return Failed(f"strong iteration aborted: {failure}")
         self._loaded = loaded
         if not self.hold_lock_while_yielding:
-            lock, self._lock = self._lock, None
-            yield from lock.release_quietly()
+            locks, self._locks = self._locks, []
+            yield from release_collection_locks(locks, quiet=True)
         return None
 
 
@@ -112,9 +122,11 @@ class StrongSet(WeakSet):
     """Serializable set: the traditional-database comparison point.
 
     Requires a lock service on the collection's primary node
-    (:func:`~repro.weaksets.locking.install_lock_service`).  Its
-    ``add``/``remove`` take the write lock, so they serialize against
-    every reader that plays by the same rules.
+    (:func:`~repro.weaksets.locking.install_lock_service`), or one per
+    shard (:func:`~repro.weaksets.locking.install_lock_services`) when
+    the collection is sharded.  Its ``add``/``remove`` take the write
+    lock(s) in ring order, so they serialize against every reader that
+    plays by the same rules.
     """
 
     semantics = "strong"
@@ -123,18 +135,16 @@ class StrongSet(WeakSet):
 
     def add(self, name: str, value: Any = None, home: Optional[str] = None,
             size: int = 0) -> Generator[Any, Any, Element]:
-        lock = LockClient(self.repo, self.coll_id)
-        yield from lock.acquire("write")
+        locks = yield from acquire_collection_locks(self.repo, self.coll_id, "write")
         try:
             element = yield from super().add(name, value, home, size)
         finally:
-            yield from lock.release_quietly()
+            yield from release_collection_locks(locks, quiet=True)
         return element
 
     def remove(self, element: Element) -> Generator[Any, Any, None]:
-        lock = LockClient(self.repo, self.coll_id)
-        yield from lock.acquire("write")
+        locks = yield from acquire_collection_locks(self.repo, self.coll_id, "write")
         try:
             yield from super().remove(element)
         finally:
-            yield from lock.release_quietly()
+            yield from release_collection_locks(locks, quiet=True)

@@ -39,6 +39,35 @@ def standard_world(n_servers: int = 4, policy: str = "any", seed: int = 0,
     return kernel, net, world, elements
 
 
+def sharded_world(n_shards: int = 3, mirrors: int = 0, policy: str = "any",
+                  seed: int = 0, latency: float = 0.01, members: int = 0,
+                  replica_lag: float = 0.5, coll_id: str = "coll",
+                  spare: int = 1, **world_kwargs):
+    """A client, ``n_shards`` shard servers, ``mirrors`` mirror nodes,
+    and ``spare`` idle servers (rebalance targets) in a full mesh.
+
+    Shards are ``s0..``, mirrors ``m0..``, spares ``x0..``.  Members are
+    seeded with homes round-robin over the shard servers; their registry
+    row lands wherever the ring says.  Returns (kernel, net, world,
+    elements).
+    """
+    shard_nodes = tuple(f"s{i}" for i in range(n_shards))
+    mirror_nodes = tuple(f"m{i}" for i in range(mirrors))
+    spare_nodes = tuple(f"x{i}" for i in range(spare))
+    nodes = [CLIENT, *shard_nodes, *mirror_nodes, *spare_nodes]
+    kernel = Kernel(seed=seed)
+    net = Network(kernel, full_mesh(nodes, FixedLatency(latency)))
+    world = World(net, replica_lag=replica_lag, **world_kwargs)
+    world.create_collection(coll_id, replicas=mirror_nodes, policy=policy,
+                            shards=shard_nodes)
+    elements = []
+    for i in range(members):
+        home = f"s{i % n_shards}"
+        elements.append(world.seed_member(coll_id, f"m{i:03d}",
+                                          value=f"v{i}", home=home))
+    return kernel, net, world, elements
+
+
 def drain_all(kernel, weakset, max_yields: Optional[int] = None):
     """Run one full iteration of ``weakset`` and return its DrainResult."""
     iterator = weakset.elements()

@@ -1,0 +1,43 @@
+"""Shard soaks: rebalance under churn across seeds, crash legs included.
+
+Marked ``shard`` so CI can select (``-m shard``) or deselect
+(``-m "not shard"``) the soak explicitly; like the other soaks it also
+runs in the default suite because every run is deterministic — a
+failure is a reproducible counterexample, not flake.  Each seed runs
+the E24 rebalance leg end to end: churn writers mutate a 3-shard
+collection while the ring grows to 4 nodes; crash seeds kill the
+migration *target* mid-handoff and recover it later, shrink seeds
+remove a shard again after the grow completes.
+"""
+
+import pytest
+
+from repro.bench.exp_sharding import _rebalance_arm
+
+pytestmark = pytest.mark.shard
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("crash", [False, True])
+def test_shard_rebalance_under_churn(seed, crash):
+    r = _rebalance_arm(seed, crash=crash)
+
+    # The migration always completes — the coordinator retries through
+    # the crash window — and the ring ends at the expected size.
+    assert r["migration_done"], r
+    if crash:
+        assert r["generation"] == 1 and r["ring_size"] == 4, r
+    else:
+        assert r["generation"] == 2 and r["ring_size"] == 3, r
+
+    # Zero tolerance: no cross-component invariant violations, no
+    # acked member lost, no removed member resurrected, no member
+    # invented, and a scatter-gather read agrees with ground truth.
+    assert r["violations"] == 0, r
+    assert r["lost"] == 0, r
+    assert r["resurrected"] == 0, r
+    assert r["foreign"] == 0, r
+    assert r["scatter_matches"], r
+
+    # The churn actually exercised the write path both ways.
+    assert r["acked_adds"] > 0 and r["acked_removes"] > 0, r

@@ -150,6 +150,25 @@ def test_apply_delta_ignores_stale_tombstone():
     assert "x" not in state.removed
 
 
+def test_apply_delta_remove_wins_version_tie():
+    """Pin the tie-break: the skip guard is strictly ``known > version``,
+    so a tombstone at exactly the member's known version still applies.
+    A tie means the remove happened *at* the version this replica last
+    heard about the member — the remove is news, not staleness."""
+    state = _state()
+    old = Element("x", "oid-1", "s1")
+    state.members["x"] = old
+    state.member_versions["x"] = 2            # known == tombstone version
+    applied = apply_delta(state, {
+        "version": 3, "sealed": False, "ghosts": [],
+        "removes": [("x", 2, old)],
+        "adds": [],
+    })
+    assert applied == 1
+    assert "x" not in state.members           # the tie goes to the remove
+    assert "x" in state.removed
+
+
 def test_apply_delta_carries_seal_and_ghosts():
     state = _state()
     applied = apply_delta(state, {

@@ -172,3 +172,58 @@ def test_zero_wait_timeout_fails_immediately_when_held():
             return "refused"
 
     assert kernel.run_process(proc()) == "refused"
+
+
+# ---------------------------------------------------------------------------
+# Collection-wide locks over sharded rings
+# ---------------------------------------------------------------------------
+
+def test_collection_locks_follow_ring_order():
+    from repro.weaksets import (acquire_collection_locks,
+                                install_lock_services,
+                                release_collection_locks)
+    from helpers import sharded_world
+
+    kernel, net, world, _ = sharded_world()
+    install_lock_services(world, "coll")
+    repo = Repository(world, CLIENT)
+
+    def proc():
+        locks = yield from acquire_collection_locks(repo, "coll", "write")
+        held_at = [lock._lock_node for lock in locks]
+        yield from release_collection_locks(locks)
+        return held_at
+
+    held_at = kernel.run_process(proc())
+    ring = world.collections["coll"].shard_map.ring
+    assert tuple(held_at) == ring.ordered_nodes()   # deterministic order
+    for node in ring.nodes:
+        service = net.node(node).services["locks"]
+        assert service.holders("coll") == []        # all released
+
+
+def test_collection_locks_roll_back_on_failure():
+    from repro.errors import FailureException
+    from repro.weaksets import (acquire_collection_locks,
+                                install_lock_services)
+    from helpers import sharded_world
+
+    kernel, net, world, _ = sharded_world()
+    install_lock_services(world, "coll")
+    repo = Repository(world, CLIENT)
+    ring = world.collections["coll"].shard_map.ring
+    last = ring.ordered_nodes()[-1]
+    net.crash(last)                       # the final acquisition will fail
+
+    def proc():
+        try:
+            yield from acquire_collection_locks(repo, "coll", "write",
+                                                rpc_timeout=0.5)
+        except FailureException:
+            return "rolled-back"
+        return "acquired"
+
+    assert kernel.run_process(proc()) == "rolled-back"
+    for node in ring.ordered_nodes()[:-1]:
+        service = net.node(node).services["locks"]
+        assert service.holders("coll") == []        # earlier locks released

@@ -93,3 +93,43 @@ def test_sees_growth_during_run():
 
     late, got = kernel.run_process(proc())
     assert late in got
+
+
+# ---------------------------------------------------------------------------
+# Sharded collections: per-shard majorities
+# ---------------------------------------------------------------------------
+
+def test_sharded_quorum_reads_union_of_per_shard_majorities():
+    from helpers import sharded_world
+
+    # Members homed on mirror-free nodes so crashing a shard server
+    # only costs its *registry* copy, not the data objects themselves.
+    kernel, net, world, _ = sharded_world(policy="grow-only", mirrors=2)
+    elements = [world.seed_member("coll", f"q{i}", value=i, home="m0")
+                for i in range(8)]
+    # One shard server down: its range still musters a majority from
+    # the two mirrors (2 of 3 copies), so the read covers every range.
+    net.crash("s1")
+    ws = QuorumGrowOnlySet(world, CLIENT, "coll")
+    result = drain_all(kernel, ws)
+    assert isinstance(result.outcome, Returned)
+    assert frozenset(result.elements) == frozenset(elements)
+    report = check_conformance(ws.last_trace, spec_by_id("fig5"), world)
+    assert report.conformant, report.counterexample()
+
+
+def test_sharded_quorum_fails_when_one_range_lacks_majority():
+    from helpers import sharded_world
+
+    kernel, net, world, _ = sharded_world(policy="grow-only", mirrors=2)
+    for i in range(8):
+        world.seed_member("coll", f"q{i}", value=i, home="m0")
+    # A shard *and* a mirror down leaves that range with 1 of 3 copies:
+    # no majority for the range means the whole read must fail — a
+    # partial union would silently drop the range's members.
+    net.crash("s1")
+    net.crash("m0")
+    ws = QuorumGrowOnlySet(world, CLIENT, "coll")
+    result = drain_all(kernel, ws)
+    assert result.failed
+    assert result.elements == []
