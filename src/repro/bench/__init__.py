@@ -1,4 +1,4 @@
-"""The evaluation harness: experiments E1–E22 (see DESIGN.md §5).
+"""The evaluation harness: experiments E1–E25 (see DESIGN.md §5).
 
 Each ``run_*`` function builds its worlds, runs the simulation, and
 returns an :class:`~repro.bench.report.ExperimentResult` whose ``str()``
@@ -36,6 +36,7 @@ from .exp_resilience import run_resilience
 from .exp_scale import run_scale
 from .exp_sharding import run_sharding
 from .exp_system import run_system
+from .exp_wire import run_wire
 from .exp_writepipe import run_writepipe
 from .exp_static import PAPER_TAXONOMY, run_reachability, run_taxonomy
 from .metrics import Summary, rate, summarize
@@ -81,6 +82,7 @@ __all__ = [
     "run_system",
     "run_taxonomy",
     "run_time_to_first",
+    "run_wire",
     "run_writepipe",
     "summarize",
 ]
@@ -118,4 +120,5 @@ ALL_EXPERIMENTS = {
     "E22a": run_kernel_throughput,
     "E23": run_overload,
     "E24": run_sharding,
+    "E25": run_wire,
 }

@@ -34,7 +34,8 @@ from typing import Iterable
 from .artifact import load_artifact
 
 __all__ = ["compare_artifacts", "compare_files", "main",
-           "metric_direction", "DEFAULT_IGNORED_KEYS"]
+           "metric_direction", "DEFAULT_IGNORED_KEYS",
+           "EXPLICIT_DIRECTIONS"]
 
 #: Machine-dependent keys never gated on.
 DEFAULT_IGNORED_KEYS = frozenset({"elapsed_wall_s", "wall_ms"})
@@ -48,17 +49,40 @@ _LOWER_BETTER = ("time", "latency", "cost", "staleness", "lag", "viol",
 _HIGHER_BETTER = ("speedup", "yield", "ok", "hit", "completion", "throughput",
                   "avail", "acked", "healed", "conform")
 
+#: Exact metric names (and their dotted sub-families) with a declared
+#: direction, checked before the substring heuristics.  The wire's
+#: bytes family is registered explicitly so ``net.bytes_sent.object``
+#: and friends gate lower-is-better by declaration, not by a substring
+#: accident — and the codec's naive/compact ratio gates higher-is-better
+#: even though "compact" matches no heuristic marker.
+EXPLICIT_DIRECTIONS = {
+    "net.bytes_sent": "lower",
+    "net.bytes_received": "lower",
+    "net.link.queue_delay": "lower",
+    "bytes_sent": "lower",
+    "bytes_received": "lower",
+    "bytes_per_member": "lower",
+    "queue_delay": "lower",
+    "naive_over_compact": "higher",
+}
+
 
 def metric_direction(key: str) -> str:
     """Which way a numeric field is allowed to move and still be good.
 
     Returns ``"lower"`` (smaller is better), ``"higher"`` (larger is
     better), or ``"neutral"`` (no idea — any out-of-tolerance move is a
-    regression, the conservative default).  Matching is on substrings of
-    the lowercased key, lower-better first: ``viol`` in a name trumps
-    ``speedup`` because a violation count must never be read as good.
+    regression, the conservative default).  Exact names in
+    :data:`EXPLICIT_DIRECTIONS` win (a dotted prefix match covers
+    per-family counters like ``net.bytes_sent.membership``); otherwise
+    matching is on substrings of the lowercased key, lower-better
+    first: ``viol`` in a name trumps ``speedup`` because a violation
+    count must never be read as good.
     """
     lowered = key.lower()
+    for name, direction in EXPLICIT_DIRECTIONS.items():
+        if lowered == name or lowered.startswith(name + "."):
+            return direction
     if any(mark in lowered for mark in _LOWER_BETTER):
         return "lower"
     if any(mark in lowered for mark in _HIGHER_BETTER):

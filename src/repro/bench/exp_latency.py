@@ -131,13 +131,18 @@ def build_scattered_fs(n_files: int, seed: int = 0, *,
                        file_size: int = 4096):
     """A directory whose files are scattered over WAN clusters."""
     kernel = Kernel(seed=seed)
+    # 1 MB/s on every link: file transfer time now accrues on the wire
+    # (FIFO links), not as server service time.
     topo = wan_clusters([cluster_size] * n_clusters,
                         intra_latency=FixedLatency(0.002),
-                        inter_latency=FixedLatency(0.060))
+                        inter_latency=FixedLatency(0.060),
+                        intra_bandwidth=1_000_000.0,
+                        inter_bandwidth=1_000_000.0)
     topo.add_node("client")
-    topo.add_link("client", "n0.0", FixedLatency(0.002))
+    topo.add_link("client", "n0.0", FixedLatency(0.002),
+                  bandwidth=1_000_000.0)
     net = Network(kernel, topo)
-    world = World(net, service_time=service_time, bandwidth=1_000_000.0)
+    world = World(net, service_time=service_time)
     fs = FileSystem(world, root_node="n0.0")
     fs.mkdir("/pub", node="n0.0")
     stream = kernel.stream("fs.seed")

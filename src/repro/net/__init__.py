@@ -38,8 +38,30 @@ from .stats import NetworkStats, NodeStats
 from .topology import (Topology, datacenter_groups, full_mesh, line,
                        multi_datacenter, random_graph, ring, star, wan_clusters)
 from .transport import Transport
+from .wire import (
+    BANDWIDTH_PRESETS,
+    BandwidthPreset,
+    Blob,
+    CompactCodec,
+    NaiveCodec,
+    WireFormat,
+    apply_bandwidth_preset,
+    codec_by_name,
+    method_family,
+    unwrap,
+)
 
 __all__ = [
+    "BANDWIDTH_PRESETS",
+    "BandwidthPreset",
+    "Blob",
+    "CompactCodec",
+    "NaiveCodec",
+    "WireFormat",
+    "apply_bandwidth_preset",
+    "codec_by_name",
+    "method_family",
+    "unwrap",
     "AIMDPolicy",
     "AdaptiveLimiter",
     "Address",

@@ -27,6 +27,7 @@ from .node import Node
 from .partitions import PartitionManager
 from .topology import Topology
 from .transport import Transport
+from .wire import WireFormat
 
 __all__ = ["Network"]
 
@@ -37,7 +38,8 @@ class Network:
     def __init__(self, kernel: Kernel, topology: Topology,
                  default_timeout: float = 5.0,
                  detection_delay: float = 0.02,
-                 fail_fast: bool = True):
+                 fail_fast: bool = True,
+                 wire: Optional["WireFormat"] = None):
         """
         Args:
             kernel: the discrete-event kernel to run on.
@@ -48,6 +50,9 @@ class Network:
                 signaled from the lower network and transport layers").
             fail_fast: if False, unreachable destinations are only ever
                 detected by timeout — the purely pessimistic transport.
+            wire: the wire format (codec + serialisation rate) the
+                transport measures and charges messages with; defaults
+                to the compact codec with free serialisation.
         """
         self.kernel = kernel
         self.topology = topology
@@ -58,7 +63,8 @@ class Network:
         self.nodes: dict[NodeId, Node] = {
             name: Node(name, kernel) for name in topology.nodes()
         }
-        self.transport = Transport(kernel, topology, self.partitions, self.nodes)
+        self.transport = Transport(kernel, topology, self.partitions, self.nodes,
+                                   wire=wire)
         self._listeners: list = []
         #: bumped on every connectivity mutation (crash/recover/split/
         #: isolate/rejoin/heal/cut_link/restore_link — everything that

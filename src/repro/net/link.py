@@ -96,6 +96,10 @@ class Link:
     and crash effects are layered on top by the transport.
     ``loss_rate`` drops individual messages with the given probability —
     the flaky-but-up link whose failures surface only as timeouts.
+    ``bandwidth`` is bytes/second; 0 means infinite (latency-only, the
+    seed behaviour).  A finite-bandwidth link is a FIFO: each direction
+    transmits one message at a time, and later messages queue behind the
+    earlier ones' transfer times.
     """
 
     a: str
@@ -103,10 +107,17 @@ class Link:
     latency: LatencyModel = field(default_factory=lambda: FixedLatency(0.01))
     up: bool = True
     loss_rate: float = 0.0
+    bandwidth: float = 0.0
+
+    #: per-direction time at which the last queued transmission drains;
+    #: keyed by sending endpoint.  Simulation state, not configuration.
+    _busy: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_rate < 1.0:
             raise SimulationError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if self.bandwidth < 0:
+            raise SimulationError(f"bandwidth must be >= 0, got {self.bandwidth}")
 
     def endpoints(self) -> frozenset[str]:
         return frozenset((self.a, self.b))
@@ -118,6 +129,30 @@ class Link:
             return self.a
         raise SimulationError(f"{node} is not an endpoint of {self}")
 
+    def transmit(self, sender: str, size: int, now: float) -> tuple[float, float]:
+        """Enqueue ``size`` bytes in ``sender``'s direction at time ``now``.
+
+        Returns ``(queue_wait, transfer_time)``: how long the message
+        waits behind earlier transmissions, and how long its own bits
+        take on the wire.  Advances the FIFO so the next caller queues
+        behind this transmission.  Infinite-bandwidth links return
+        ``(0, 0)``.
+        """
+        if self.bandwidth <= 0:
+            return 0.0, 0.0
+        start = max(now, self._busy.get(sender, 0.0))
+        transfer = size / self.bandwidth
+        self._busy[sender] = start + transfer
+        return start - now, transfer
+
     def __repr__(self) -> str:
         state = "up" if self.up else "DOWN"
-        return f"Link({self.a}<->{self.b}, {state}, ~{self.latency.expected() * 1000:.1f}ms)"
+        extras = f", loss={self.loss_rate:.3g}"
+        if self.bandwidth > 0:
+            extras += f", bw={self.bandwidth:.4g}B/s"
+        else:
+            extras += ", bw=inf"
+        return (
+            f"Link({self.a}<->{self.b}, {state}, "
+            f"~{self.latency.expected() * 1000:.1f}ms{extras})"
+        )

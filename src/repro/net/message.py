@@ -28,6 +28,10 @@ class Message:
     #: destination's bounded executor queues this request under.
     priority: int = PRIORITY_NORMAL
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    #: bytes this message occupies on the wire, stamped by the
+    #: transport's :class:`repro.net.wire.WireFormat` at send time
+    #: (``None`` until sent, or when the transport has no wire format).
+    wire_size: Optional[int] = field(default=None, compare=False)
 
     def reply(self, payload: Any, *, error: bool = False) -> "Message":
         """Build the reply envelope for this request."""

@@ -21,6 +21,7 @@ from typing import Optional
 from ..obs.metrics import Counter, MetricsRegistry
 from .address import NodeId
 from .message import Message
+from .wire import method_family
 
 __all__ = ["NodeStats", "NetworkStats"]
 
@@ -33,10 +34,13 @@ class NodeStats:
     received: int = 0
     requests_handled: int = 0
     addressed: int = 0        # messages addressed *to* this node at send time
+    bytes_sent: int = 0
+    bytes_received: int = 0
 
     def __str__(self) -> str:
         return (f"sent={self.sent} received={self.received} "
-                f"handled={self.requests_handled} addressed={self.addressed}")
+                f"handled={self.requests_handled} addressed={self.addressed} "
+                f"bytes_out={self.bytes_sent} bytes_in={self.bytes_received}")
 
 
 def _registry_counter(metric_name: str) -> property:
@@ -73,6 +77,8 @@ class NetworkStats:
         "breaker_fast_fails": "rpc.breaker_fast_fails",
         "failovers": "rpc.failovers",
         "retry_budget_exhausted": "overload.retry_budget_exhausted",
+        "bytes_sent": "net.bytes_sent",
+        "bytes_received": "net.bytes_received",
     }
 
     def __init__(self, registry: Optional[MetricsRegistry] = None):
@@ -96,6 +102,10 @@ class NetworkStats:
     breaker_fast_fails = _registry_counter("rpc.breaker_fast_fails")
     failovers = _registry_counter("rpc.failovers")
     retry_budget_exhausted = _registry_counter("overload.retry_budget_exhausted")
+    # -- wire-level byte accounting (``Message.wire_size``, stamped by
+    #    the transport's WireFormat at send time) ------------------------
+    bytes_sent = _registry_counter("net.bytes_sent")
+    bytes_received = _registry_counter("net.bytes_received")
 
     def node(self, name: NodeId) -> NodeStats:
         stats = self.per_node.get(name)
@@ -106,8 +116,14 @@ class NetworkStats:
 
     def record_send(self, msg: Message) -> None:
         self._counters["net.messages_sent"].value += 1
-        self.node(msg.src.node).sent += 1
+        sender = self.node(msg.src.node)
+        sender.sent += 1
         self.node(msg.dst.node).addressed += 1
+        size = msg.wire_size or 0
+        if size:
+            self._counters["net.bytes_sent"].value += size
+            sender.bytes_sent += size
+            self._family_counter("net.bytes_sent", msg.method).value += size
 
     def record_delivery(self, msg: Message) -> None:
         self._counters["net.messages_delivered"].value += 1
@@ -115,6 +131,21 @@ class NetworkStats:
         receiver.received += 1
         if not msg.is_reply:
             receiver.requests_handled += 1
+        size = msg.wire_size or 0
+        if size:
+            self._counters["net.bytes_received"].value += size
+            receiver.bytes_received += size
+            self._family_counter("net.bytes_received", msg.method).value += size
+
+    def _family_counter(self, base: str, method: str) -> Counter:
+        """Lazy per-method-family byte counter (``net.bytes_sent.object``,
+        ``net.bytes_received.sync``, …)."""
+        name = f"{base}.{method_family(method)}"
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self.registry.counter(name)
+            self._counters[name] = counter
+        return counter
 
     def record_drop(self, msg: Message) -> None:
         self._counters["net.messages_dropped"].value += 1

@@ -47,7 +47,8 @@ class Topology:
         self._adjacency[node] = set()
         self._touch()
 
-    def add_link(self, a: NodeId, b: NodeId, latency: Optional[LatencyModel] = None) -> Link:
+    def add_link(self, a: NodeId, b: NodeId, latency: Optional[LatencyModel] = None,
+                 bandwidth: float = 0.0) -> Link:
         if a not in self._nodes or b not in self._nodes:
             raise SimulationError(f"link endpoints must exist: {a!r}, {b!r}")
         if a == b:
@@ -55,7 +56,7 @@ class Topology:
         key = frozenset((a, b))
         if key in self._links:
             raise SimulationError(f"duplicate link {a!r}<->{b!r}")
-        link = Link(a, b, latency or FixedLatency(0.01))
+        link = Link(a, b, latency or FixedLatency(0.01), bandwidth=bandwidth)
         self._links[key] = link
         self._adjacency[a].add(b)
         self._adjacency[b].add(a)
@@ -193,7 +194,8 @@ class Topology:
 
 def full_mesh(names: Iterable[NodeId],
               latency: Optional[LatencyModel] = None,
-              latency_for: Optional[Callable[[NodeId, NodeId], LatencyModel]] = None) -> Topology:
+              latency_for: Optional[Callable[[NodeId, NodeId], LatencyModel]] = None,
+              bandwidth: float = 0.0) -> Topology:
     """Every pair of nodes directly linked."""
     topo = Topology()
     nodes = list(names)
@@ -202,33 +204,36 @@ def full_mesh(names: Iterable[NodeId],
     for i, a in enumerate(nodes):
         for b in nodes[i + 1:]:
             model = latency_for(a, b) if latency_for else (latency or FixedLatency(0.01))
-            topo.add_link(a, b, model)
+            topo.add_link(a, b, model, bandwidth=bandwidth)
     return topo
 
 
 def star(center: NodeId, leaves: Iterable[NodeId],
-         latency: Optional[LatencyModel] = None) -> Topology:
+         latency: Optional[LatencyModel] = None,
+         bandwidth: float = 0.0) -> Topology:
     """A hub-and-spoke topology (the classic client/servers shape)."""
     topo = Topology()
     topo.add_node(center)
     for leaf in leaves:
         topo.add_node(leaf)
-        topo.add_link(center, leaf, latency or FixedLatency(0.01))
+        topo.add_link(center, leaf, latency or FixedLatency(0.01), bandwidth=bandwidth)
     return topo
 
 
-def line(names: Iterable[NodeId], latency: Optional[LatencyModel] = None) -> Topology:
+def line(names: Iterable[NodeId], latency: Optional[LatencyModel] = None,
+         bandwidth: float = 0.0) -> Topology:
     """Nodes in a chain; cutting any link partitions the network."""
     topo = Topology()
     nodes = list(names)
     for n in nodes:
         topo.add_node(n)
     for a, b in zip(nodes, nodes[1:]):
-        topo.add_link(a, b, latency or FixedLatency(0.01))
+        topo.add_link(a, b, latency or FixedLatency(0.01), bandwidth=bandwidth)
     return topo
 
 
-def ring(names: Iterable[NodeId], latency: Optional[LatencyModel] = None) -> Topology:
+def ring(names: Iterable[NodeId], latency: Optional[LatencyModel] = None,
+         bandwidth: float = 0.0) -> Topology:
     """Nodes in a cycle: any single link cut leaves everyone connected
     (via the long way around), any two cuts partition."""
     topo = Topology()
@@ -238,15 +243,16 @@ def ring(names: Iterable[NodeId], latency: Optional[LatencyModel] = None) -> Top
     for n in nodes:
         topo.add_node(n)
     for a, b in zip(nodes, nodes[1:]):
-        topo.add_link(a, b, latency or FixedLatency(0.01))
-    topo.add_link(nodes[-1], nodes[0], latency or FixedLatency(0.01))
+        topo.add_link(a, b, latency or FixedLatency(0.01), bandwidth=bandwidth)
+    topo.add_link(nodes[-1], nodes[0], latency or FixedLatency(0.01), bandwidth=bandwidth)
     return topo
 
 
 def random_graph(names: Iterable[NodeId], stream: "Stream",
                  edge_probability: float = 0.4,
                  latency: Optional[LatencyModel] = None,
-                 ensure_connected: bool = True) -> Topology:
+                 ensure_connected: bool = True,
+                 bandwidth: float = 0.0) -> Topology:
     """An Erdős–Rényi-style graph, optionally patched to be connected.
 
     Connectivity is ensured by threading a chain through any isolated
@@ -261,25 +267,29 @@ def random_graph(names: Iterable[NodeId], stream: "Stream",
     for i, a in enumerate(nodes):
         for b in nodes[i + 1:]:
             if stream.bernoulli(edge_probability):
-                topo.add_link(a, b, model)
+                topo.add_link(a, b, model, bandwidth=bandwidth)
     if ensure_connected and len(nodes) > 1:
         for a, b in zip(nodes, nodes[1:]):
             if not topo.connected(a, b):
                 if topo.link_between(a, b) is None:
-                    topo.add_link(a, b, model)
+                    topo.add_link(a, b, model, bandwidth=bandwidth)
     return topo
 
 
 def wan_clusters(cluster_sizes: list[int],
                  intra_latency: Optional[LatencyModel] = None,
                  inter_latency: Optional[LatencyModel] = None,
-                 prefix: str = "n") -> Topology:
+                 prefix: str = "n",
+                 intra_bandwidth: float = 0.0,
+                 inter_bandwidth: float = 0.0) -> Topology:
     """Clusters of nearby nodes joined by slow wide-area links.
 
     Models the paper's environment: objects scattered over "many
     organizations", some close (LAN) and some far (WAN).  Each cluster is
     a full mesh of fast links; cluster heads form a full mesh of slow
-    links.  Node names are ``{prefix}{cluster}.{index}``.
+    links.  Node names are ``{prefix}{cluster}.{index}``.  Bandwidths
+    (bytes/second; 0 = infinite) apply per link class, mirroring the
+    latency split.
     """
     intra = intra_latency or FixedLatency(0.002)
     inter = inter_latency or FixedLatency(0.080)
@@ -291,12 +301,12 @@ def wan_clusters(cluster_sizes: list[int],
             topo.add_node(m)
         for i, a in enumerate(members):
             for b in members[i + 1:]:
-                topo.add_link(a, b, intra)
+                topo.add_link(a, b, intra, bandwidth=intra_bandwidth)
         if members:
             heads.append(members[0])
     for i, a in enumerate(heads):
         for b in heads[i + 1:]:
-            topo.add_link(a, b, inter)
+            topo.add_link(a, b, inter, bandwidth=inter_bandwidth)
     return topo
 
 
@@ -304,7 +314,9 @@ def multi_datacenter(dc_sizes: list[int],
                      intra_latency: Optional[LatencyModel] = None,
                      inter_latency: Optional[LatencyModel] = None,
                      prefix: str = "dc",
-                     gateways: int = 2) -> Topology:
+                     gateways: int = 2,
+                     intra_bandwidth: float = 0.0,
+                     inter_bandwidth: float = 0.0) -> Topology:
     """Geo-replicated datacenters: fast inside, slow between, redundant.
 
     The geo variant of :func:`wan_clusters` for the disconnected-
@@ -326,12 +338,12 @@ def multi_datacenter(dc_sizes: list[int],
             topo.add_node(m)
         for i, a in enumerate(members):
             for b in members[i + 1:]:
-                topo.add_link(a, b, intra)
+                topo.add_link(a, b, intra, bandwidth=intra_bandwidth)
         dcs.append(members)
     for i, dc_a in enumerate(dcs):
         for dc_b in dcs[i + 1:]:
             for k in range(min(gateways, len(dc_a), len(dc_b))):
-                topo.add_link(dc_a[k], dc_b[k], inter)
+                topo.add_link(dc_a[k], dc_b[k], inter, bandwidth=inter_bandwidth)
     return topo
 
 

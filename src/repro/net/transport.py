@@ -27,6 +27,7 @@ from .node import Node
 from .partitions import PartitionManager
 from .stats import NetworkStats
 from .topology import Topology
+from .wire import WireFormat, method_family
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.kernel import Kernel
@@ -38,11 +39,13 @@ class Transport:
     """Delivers messages between nodes and dispatches RPC handlers."""
 
     def __init__(self, kernel: "Kernel", topology: Topology,
-                 partitions: PartitionManager, nodes: dict[NodeId, Node]):
+                 partitions: PartitionManager, nodes: dict[NodeId, Node],
+                 wire: Optional[WireFormat] = None):
         self.kernel = kernel
         self.topology = topology
         self.partitions = partitions
         self.nodes = nodes
+        self.wire = wire if wire is not None else WireFormat()
         self._pending_replies: dict[int, Signal] = {}
         self._latency_stream = kernel.stream("net.latency")
         self.messages_sent = 0
@@ -51,6 +54,8 @@ class Transport:
         # facade and any exported artifact are the same numbers.
         self.stats = NetworkStats(registry=kernel.obs.metrics)
         self._m_delivery_delay = kernel.obs.metrics.histogram("net.delivery_delay")
+        self._m_queue_delay = kernel.obs.metrics.histogram("net.link.queue_delay")
+        self._queue_delay_by_family: dict[str, object] = {}
 
     # -- reachability -----------------------------------------------------
     def unreachable_reason(self, src: NodeId, dst: NodeId) -> Optional[FailureException]:
@@ -79,7 +84,18 @@ class Transport:
 
         Loss after send (destination crashes or partitions while the
         message is in flight) is checked again at delivery time.
+
+        The message is measured by the transport's wire format and its
+        ``wire_size`` stamped before anything else, so even dropped
+        messages have honest byte accounting.  Delivery delay is
+        store-and-forward: the sender pays serialisation once, then
+        each link on the route charges FIFO queueing behind earlier
+        transmissions, ``size / bandwidth`` transfer, and its sampled
+        propagation latency.  All-infinite-bandwidth routes reduce
+        exactly to the seed's latency-only model.
         """
+        if msg.wire_size is None:
+            object.__setattr__(msg, "wire_size", self.wire.measure(msg))
         self.messages_sent += 1
         self.stats.record_send(msg)
         if self.unreachable_reason(msg.src.node, msg.dst.node) is not None:
@@ -95,10 +111,28 @@ class Transport:
                 self.kernel.trace.record("drop", msg=str(msg), at="loss",
                                          link=f"{link.a}<->{link.b}")
                 return False
-        delay = self.topology.path_latency(msg.src.node, msg.dst.node, self._latency_stream)
-        assert delay is not None
+        now = self.kernel.now
+        t = now + self.wire.serialize_delay(msg.wire_size)
+        queue_wait = 0.0
+        hop = msg.src.node
+        for link in route:
+            wait, transfer = link.transmit(hop, msg.wire_size, t)
+            queue_wait += wait
+            t += wait + transfer + link.latency.sample(self._latency_stream)
+            hop = link.other(hop)
+        delay = t - now
         self._m_delivery_delay.observe(delay)
-        self.kernel.trace.record("send", msg=str(msg), delay=round(delay, 6))
+        if queue_wait > 0.0:
+            self._m_queue_delay.observe(queue_wait)
+            family = method_family(msg.method)
+            hist = self._queue_delay_by_family.get(family)
+            if hist is None:
+                hist = self.kernel.obs.metrics.histogram(
+                    f"net.link.queue_delay.{family}")
+                self._queue_delay_by_family[family] = hist
+            hist.observe(queue_wait)
+        self.kernel.trace.record("send", msg=str(msg), delay=round(delay, 6),
+                                 size=msg.wire_size)
         self.kernel.call_soon(lambda: self._deliver(msg), delay=delay)
         return True
 

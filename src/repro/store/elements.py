@@ -28,7 +28,13 @@ _oid_counter = itertools.count(1)
 
 
 def fresh_oid(prefix: str = "obj") -> ObjectId:
-    """Globally unique object identifier."""
+    """Process-unique object identifier (test-fixture convenience).
+
+    Simulation code must mint through ``World.fresh_oid`` instead: this
+    counter is process-global, so oid string widths — which go on the
+    wire inside elements — would depend on how many worlds the process
+    had built before, breaking seed-deterministic byte accounting.
+    """
     return f"{prefix}-{next(_oid_counter)}"
 
 

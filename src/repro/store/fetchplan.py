@@ -60,6 +60,7 @@ from ..errors import (CircuitOpenFailure, DisconnectedError, FailureException,
                       NoSuchObjectError, ServerBusyFailure, TimeoutFailure)
 from ..net.address import NodeId
 from ..net.resilience import TRANSPORT_FAILURES
+from ..net.wire import unwrap
 from ..sim.events import Signal, Sleep, Wait
 from .elements import Element, ObjectId
 from .server import ObjectServer
@@ -200,6 +201,8 @@ class FetchPipeline:
 
     def __init__(self, repo: "Repository", *, use_cache: bool,
                  window: int = 8, batch_size: int = 4,
+                 max_batch_bytes: Optional[int] = None,
+                 size_hint: "Optional[int | Callable[[Element], int]]" = None,
                  failover: bool = False, validation: str = "none",
                  priority: Optional[Callable[[Element], Any]] = None,
                  closest_first: bool = True, in_order: bool = True,
@@ -216,6 +219,13 @@ class FetchPipeline:
                                     priority=priority)
         self.window = max(1, window)
         self.batch_size = max(1, batch_size)
+        # Byte-aware coalescing: cap each multi-get's estimated *reply*
+        # bytes alongside the item cap.  The client does not know object
+        # sizes before fetching, so ``size_hint`` supplies the estimate
+        # (a constant, or a callable per element); with no hint the byte
+        # cap is inert and batches are item-capped only.
+        self.max_batch_bytes = max_batch_bytes
+        self.size_hint = size_hint
         self.use_cache = use_cache
         self.failover = failover
         self.validation = validation
@@ -516,10 +526,19 @@ class FetchPipeline:
         if self._batches_issued == 0:
             limit = 1
         batch = [head]
+        byte_budget = None
+        if self.max_batch_bytes is not None and self.size_hint is not None:
+            byte_budget = self.max_batch_bytes - self._estimate_bytes(head)
         if limit > 1 and self._todo:
             rest: deque[Element] = deque()
             for element in self._todo:
                 if len(batch) < limit and element.home == head.home:
+                    if byte_budget is not None:
+                        cost = self._estimate_bytes(element)
+                        if cost > byte_budget:
+                            rest.append(element)
+                            continue
+                        byte_budget -= cost
                     batch.append(element)
                 else:
                     rest.append(element)
@@ -527,6 +546,12 @@ class FetchPipeline:
         self._in_flight += len(batch)
         self._batches_issued += 1
         return batch
+
+    def _estimate_bytes(self, element: Element) -> int:
+        hint = self.size_hint
+        if callable(hint):
+            return int(hint(element))
+        return int(hint or 0)
 
     def _execute(self, batch: list[Element]) -> Generator:
         home = batch[0].home
@@ -712,6 +737,7 @@ class FetchPipeline:
 
     # ------------------------------------------------------------------
     def _settle_ok(self, element: Element, value: Any, issue_epoch: int) -> None:
+        value = unwrap(value)  # servers reply in wire Blobs
         if self.repo.cache is not None:
             self.repo.cache.put(("object", element.oid), value, self.world.now)
         self._settle(FetchResult(element, value=value,

@@ -62,7 +62,7 @@ from typing import Any, Generator, Optional
 from ..errors import DisconnectedError
 from ..net.address import NodeId
 from .cache import ClientCache
-from .elements import Element, fresh_oid
+from .elements import Element
 from .repository import MembershipView, Repository
 from .server import CollectionState
 from .antientropy import apply_delta
@@ -282,7 +282,8 @@ class OfflineClient:
         server's idempotent re-add keeps the outbox item-precise."""
         home = home if home is not None else self.repo.primary_of(self.coll_id)
         replicas = tuple(r for r in replicas if r != home)
-        element = Element(name=name, oid=fresh_oid(name), home=home,
+        element = Element(name=name, oid=self.world.fresh_oid(name),
+                          home=home,
                           replicas=replicas)
         spec = AddSpec(name, value, home, size, replicas, element.oid)
         self.outbox.append("add", self.coll_id, element, spec, self.world.now)

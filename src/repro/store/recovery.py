@@ -258,11 +258,22 @@ class RepairDaemon:
         names = sorted(state.members)
         if not names:
             return 0
-        cursor_key = f"{state.coll_id}@{server.node_id}"
-        cursor = self._cursors.get(cursor_key, 0)
-        window = [names[(cursor + i) % len(names)]
-                  for i in range(min(self.PROBE_BUDGET, len(names)))]
-        self._cursors[cursor_key] = (cursor + len(window)) % len(names)
+        # Probing a member whose home is *this* server is a local dict
+        # lookup — sweep all of those every round.  The probe budget
+        # rations only the remote probes, which cost an RPC each.
+        local = [n for n in names
+                 if state.members[n].home == server.node_id]
+        remote = [n for n in names
+                  if state.members[n].home != server.node_id]
+        window = local
+        if remote:
+            cursor_key = f"{state.coll_id}@{server.node_id}"
+            cursor = self._cursors.get(cursor_key, 0)
+            window = local + [
+                remote[(cursor + i) % len(remote)]
+                for i in range(min(self.PROBE_BUDGET, len(remote)))]
+            self._cursors[cursor_key] = (cursor + min(
+                self.PROBE_BUDGET, len(remote))) % len(remote)
         healed = 0
         for name in window:
             element = state.members.get(name)

@@ -9,16 +9,16 @@ implementations honest subjects for the specification checker.
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Generator, Iterable, Optional
 
 from ..errors import (CircuitOpenFailure, DisconnectedError, FailureException,
                       UnreachableObjectFailure, WrongShardFailure)
 from ..net.address import NodeId
 from ..net.resilience import TRANSPORT_FAILURES, AdaptiveLimiter, ResilientClient
+from ..net.wire import Blob, unwrap
 from ..sim.events import Fork, Join
 from .cache import ClientCache
-from .elements import Element, fresh_oid
+from .elements import Element
 from .fetchplan import rank_hosts
 from .server import ObjectServer
 from .sharding import shard_state_id
@@ -26,8 +26,6 @@ from .world import World
 from .writeplan import AddSpec, WritePipeline, WriteResult
 
 __all__ = ["Repository", "MembershipView"]
-
-_iter_tokens = itertools.count(1)
 
 
 def _unpack_snapshot(reply) -> tuple[int, tuple, bool]:
@@ -421,6 +419,7 @@ class Repository:
             raise
         tracer.finish(span, outcome="ok")
         self._m_fetch_latency.observe(span.duration)
+        value = unwrap(value)  # servers reply in wire Blobs
         if self.cache is not None:
             self.cache.put(("object", element.oid), value, self.world.now)
         return value
@@ -489,14 +488,17 @@ class Repository:
         implies member — holds from the element's first instant."""
         home = home if home is not None else self.owner_of(coll_id, name)
         replicas = tuple(r for r in replicas if r != home)
-        element = Element(name=name, oid=fresh_oid(name), home=home,
+        element = Element(name=name, oid=self.world.fresh_oid(name), home=home,
                           replicas=replicas)
-        yield from self._call(home, "put_object", element.oid, value, size)
+        # Ship the body as a Blob so the put's wire cost includes the
+        # object's declared size, not just its stand-in value.
+        body = Blob(value, size)
+        yield from self._call(home, "put_object", element.oid, body, size)
         placed = [home]
         try:
             for replica in replicas:
                 yield from self._call(replica, "put_object", element.oid,
-                                      value, size)
+                                      body, size)
                 placed.append(replica)
             yield from self._mutate_member(coll_id, "add_member", element)
         except FailureException:
@@ -552,6 +554,7 @@ class Repository:
     # ------------------------------------------------------------------
     def add_many(self, coll_id: str, specs: Iterable[AddSpec | str], *,
                  window: int = 4, batch_size: int = 8,
+                 max_batch_bytes: Optional[int] = None,
                  on_failure: str = "raise"
                  ) -> Generator[Any, Any, list[Element]]:
         """Add many elements through a :class:`WritePipeline`.
@@ -564,31 +567,38 @@ class Repository:
         first failure after the whole pipeline drains (every operation
         still runs — no partial abandonment); ``"skip"`` tolerates
         failures and returns only the elements that were added.
+        ``max_batch_bytes`` caps each batch's estimated wire bytes
+        alongside the item cap — on a bandwidth-constrained link an
+        over-full batch monopolises the FIFO.
         """
         results = yield from self._run_pipeline(
             coll_id, [s if isinstance(s, AddSpec) else AddSpec(s)
                       for s in specs],
-            (), window=window, batch_size=batch_size)
+            (), window=window, batch_size=batch_size,
+            max_batch_bytes=max_batch_bytes)
         self._check_failures(results, on_failure)
         return [r.element for r in results if r.ok]
 
     def remove_many(self, coll_id: str, elements: Iterable[Element], *,
                     window: int = 4, batch_size: int = 8,
+                    max_batch_bytes: Optional[int] = None,
                     on_failure: str = "raise"
                     ) -> Generator[Any, Any, int]:
         """Remove many elements via group-committed ``remove_members``
         batches; returns how many removals were acknowledged."""
         results = yield from self._run_pipeline(
             coll_id, (), tuple(elements), window=window,
-            batch_size=batch_size)
+            batch_size=batch_size, max_batch_bytes=max_batch_bytes)
         self._check_failures(results, on_failure)
         return sum(1 for r in results if r.ok)
 
     def _run_pipeline(self, coll_id: str, specs, elements, *,
-                      window: int, batch_size: int
+                      window: int, batch_size: int,
+                      max_batch_bytes: Optional[int] = None
                       ) -> Generator[Any, Any, list[WriteResult]]:
         pipeline = WritePipeline(self, coll_id, window=window,
-                                 batch_size=batch_size)
+                                 batch_size=batch_size,
+                                 max_batch_bytes=max_batch_bytes)
         pipeline.start()
         try:
             for spec in specs:
@@ -644,7 +654,7 @@ class Repository:
         return self.world.partition_nodes(coll_id)
 
     def begin_iteration(self, coll_id: str) -> Generator[Any, Any, str]:
-        token = f"iter-{self.client}-{next(_iter_tokens)}"
+        token = self.world.fresh_iter_token(self.client)
         registered: list[NodeId] = []
         try:
             for node in self._registration_nodes(coll_id):

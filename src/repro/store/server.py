@@ -45,6 +45,7 @@ from ..errors import (
     WrongShardFailure,
 )
 from ..net.address import NodeId
+from ..net.wire import Blob, unwrap
 from ..sim.events import Sleep
 from .elements import Element, ObjectId, StoredObject
 from .wal import IntentLog, IntentRecord
@@ -152,12 +153,18 @@ class ObjectServer:
     # data objects
     # ------------------------------------------------------------------
     def get_object(self, oid: ObjectId) -> Generator[Any, Any, Any]:
-        """Fetch a data object; service time grows with object size."""
-        yield Sleep(self.world.service_time + self._transfer_time(oid))
+        """Fetch a data object.
+
+        The reply is a :class:`~repro.net.wire.Blob` carrying the
+        object's declared size, so the transfer cost is charged by the
+        wire (link bandwidth + queueing), not as server service time —
+        the server only pays its fixed per-request service time.
+        """
+        yield Sleep(self.world.service_time)
         obj = self.objects.get(oid)
         if obj is None or obj.deleted:
             raise NoSuchObjectError(f"{oid} not stored on {self.node_id}")
-        return obj.value
+        return Blob(obj.value, obj.size)
 
     def get_object_replica(self, oid: ObjectId) -> Generator[Any, Any, Any]:
         """Fetch a *replica copy* of a data object.
@@ -170,19 +177,19 @@ class ObjectServer:
         distinction the failover path relies on to never invent, and
         never prematurely bury, an element.
         """
-        yield Sleep(self.world.service_time + self._transfer_time(oid))
+        yield Sleep(self.world.service_time)
         obj = self.objects.get(oid)
         if obj is None or obj.deleted:
             raise UnreachableObjectFailure(
                 f"no live replica copy of {oid} on {self.node_id}"
             )
-        return obj.value
+        return Blob(obj.value, obj.size)
 
     def get_objects(
         self, oids: Sequence[ObjectId]
     ) -> Generator[Any, Any, tuple[tuple[str, Any], ...]]:
-        """Batched multi-get: one service-time charge plus the summed
-        transfer times for the whole batch, then a per-oid outcome.
+        """Batched multi-get: one service-time charge for the whole
+        batch (the bytes are charged on the wire), then a per-oid outcome.
 
         Unlike :meth:`get_object`, a missing object does not fail the
         call — the batch answers ``("ok", value)`` or ``("gone", None)``
@@ -193,15 +200,14 @@ class ObjectServer:
         """
         if not oids:
             return ()
-        yield Sleep(self.world.service_time
-                    + sum(self._transfer_time(oid) for oid in oids))
+        yield Sleep(self.world.service_time)
         outcomes = []
         for oid in oids:
             obj = self.objects.get(oid)
             if obj is None or obj.deleted:
                 outcomes.append(("gone", None))
             else:
-                outcomes.append(("ok", obj.value))
+                outcomes.append(("ok", Blob(obj.value, obj.size)))
         return tuple(outcomes)
 
     def get_objects_replica(
@@ -213,15 +219,14 @@ class ObjectServer:
         "no usable copy here, try elsewhere"."""
         if not oids:
             return ()
-        yield Sleep(self.world.service_time
-                    + sum(self._transfer_time(oid) for oid in oids))
+        yield Sleep(self.world.service_time)
         outcomes = []
         for oid in oids:
             obj = self.objects.get(oid)
             if obj is None or obj.deleted:
                 outcomes.append(("miss", None))
             else:
-                outcomes.append(("ok", obj.value))
+                outcomes.append(("ok", Blob(obj.value, obj.size)))
         return tuple(outcomes)
 
     def put_object(self, oid: ObjectId, value: Any, size: int = 0) -> Generator[Any, Any, int]:
@@ -255,6 +260,7 @@ class ObjectServer:
         return tuple(versions)
 
     def _store(self, oid: ObjectId, value: Any, size: int) -> int:
+        value = unwrap(value)  # writers ship Blobs so puts cost wire bytes
         existing = self.objects.get(oid)
         if existing is not None and not existing.deleted:
             existing.value = value
@@ -280,12 +286,6 @@ class ObjectServer:
     def has_object(self, oid: ObjectId) -> bool:
         obj = self.objects.get(oid)
         return obj is not None and not obj.deleted
-
-    def _transfer_time(self, oid: ObjectId) -> float:
-        obj = self.objects.get(oid)
-        if obj is None or self.world.bandwidth <= 0:
-            return 0.0
-        return obj.size / self.world.bandwidth
 
     # ------------------------------------------------------------------
     # collections: reads (primary or replica)

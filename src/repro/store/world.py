@@ -22,6 +22,8 @@ RPC (:class:`~repro.store.repository.Repository`) like honest clients.
 
 from __future__ import annotations
 
+import itertools
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -32,7 +34,7 @@ from ..net.fabric import Network
 from ..net.resilience import ResilientClient, RetryPolicy
 from ..sim.events import Sleep
 from .antientropy import AntiEntropySyncer
-from .elements import Element, fresh_oid
+from .elements import Element
 from .recovery import RecoveryManager, RepairDaemon
 from .server import CollectionState, ObjectServer
 from .sharding import HashRing, ShardMap, shard_state_id
@@ -74,14 +76,19 @@ class World:
     """Object servers + collections + ground truth over one network."""
 
     def __init__(self, net: Network, *, service_time: float = 0.002,
-                 bandwidth: float = 10_000_000.0, replica_lag: float = 0.5,
+                 bandwidth: Optional[float] = None, replica_lag: float = 0.5,
                  recovery_enabled: bool = True, scrub_interval: float = 2.0,
                  executor: Optional[ExecutorPolicy] = None):
         """
         Args:
             net: the simulated network to install servers on.
             service_time: per-request server-side processing delay.
-            bandwidth: bytes/second for object transfers (0 = infinite).
+            bandwidth: **deprecated** — object transfers are now charged
+                by the wire model (``Link.bandwidth`` + the transport's
+                codec), not as server service time.  Passing a value
+                warns and configures it as the default bandwidth on
+                every topology link that has none, which approximates
+                the old cost model without double-charging.
             replica_lag: anti-entropy period for collection replicas;
                 bounds how stale a reachable replica can be while the
                 primary is reachable.
@@ -97,13 +104,31 @@ class World:
         self.net = net
         self.kernel = net.kernel
         self.service_time = service_time
-        self.bandwidth = bandwidth
+        if bandwidth is not None:
+            warnings.warn(
+                "World(bandwidth=...) is deprecated: object transfer cost "
+                "moved onto the wire model; the value now sets the default "
+                "Link.bandwidth on links that have none. Set bandwidths on "
+                "the topology (or a ScenarioSpec bandwidth preset) instead.",
+                DeprecationWarning, stacklevel=2,
+            )
+            if bandwidth > 0:
+                for link in net.topology.links():
+                    if link.bandwidth <= 0:
+                        link.bandwidth = bandwidth
+        self.bandwidth = bandwidth if bandwidth is not None else 0.0
         self.replica_lag = replica_lag
         self.recovery_enabled = recovery_enabled
         self.scrub_interval = scrub_interval
         self.executor_policy = executor
         self.servers: dict[NodeId, ObjectServer] = {}
         self.collections: dict[str, CollectionInfo] = {}
+        #: per-world id minters: oids and iteration tokens appear inside
+        #: wire payloads, so their widths must be a function of the run,
+        #: not of how many other worlds this *process* built before
+        #: (byte counts are gated seed-deterministic in E25).
+        self._oid_counter = itertools.count(1)
+        self._iter_counter = itertools.count(1)
         self._listeners: list[Callable[[], None]] = []
         #: shared RPC client for the anti-entropy syncers (its own RNG
         #: stream so sync backoff never perturbs client-facing draws).
@@ -122,6 +147,14 @@ class World:
                 net.node(node).executor = BoundedExecutor(
                     self.kernel, executor, name=str(node))
         net.on_connectivity_change(self._notify)
+
+    def fresh_oid(self, prefix: str = "obj") -> str:
+        """This world's next object identifier (seed-deterministic)."""
+        return f"{prefix}-{next(self._oid_counter)}"
+
+    def fresh_iter_token(self, client: NodeId) -> str:
+        """This world's next per-run iteration token."""
+        return f"iter-{client}-{next(self._iter_counter)}"
 
     @property
     def now(self) -> float:
@@ -235,7 +268,7 @@ class World:
                  else info.primary)
         home = home if home is not None else owner
         object_replicas = tuple(r for r in replicas if r != home)
-        element = Element(name=name, oid=fresh_oid(name), home=home,
+        element = Element(name=name, oid=self.fresh_oid(name), home=home,
                           replicas=object_replicas)
         self.servers[home].store_direct(element, value, size)
         for node in object_replicas:

@@ -59,8 +59,9 @@ from typing import TYPE_CHECKING, Any, Generator, Optional, Sequence
 from ..errors import (FailureException, ServerBusyFailure, StoreError,
                       TimeoutFailure, WrongShardFailure)
 from ..net.address import NodeId
+from ..net.wire import Blob
 from ..sim.events import Fork, Join, Signal, Wait
-from .elements import Element, ObjectId, fresh_oid
+from .elements import Element, ObjectId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .repository import Repository
@@ -107,16 +108,45 @@ class _WriteOp:
     error: Optional[BaseException] = None
 
 
-class WritePlanner:
-    """Forms batches and coalesces their puts by destination node."""
+#: estimated wire overhead per write operation beyond its body bytes
+#: (oid, element metadata, framing) — only the *relative* scale matters
+#: for byte-capped batch forming.
+_OP_OVERHEAD_BYTES = 96
 
-    def __init__(self, batch_size: int):
+
+class WritePlanner:
+    """Forms batches and coalesces their puts by destination node.
+
+    ``max_batch_bytes`` caps a batch's estimated wire bytes — body sizes
+    plus a fixed per-op overhead — alongside the item cap, so one huge
+    object cannot drag a dozen batchmates behind it on a slow link.  A
+    batch always holds at least one op, however large.
+    """
+
+    def __init__(self, batch_size: int,
+                 max_batch_bytes: Optional[int] = None):
         self.batch_size = max(1, batch_size)
+        self.max_batch_bytes = max_batch_bytes
+
+    def op_cost(self, op: "_WriteOp") -> int:
+        """Estimated wire bytes this operation adds to its batch."""
+        body = op.spec.size if op.spec is not None else 0
+        return _OP_OVERHEAD_BYTES + max(0, body)
 
     def form(self, queue: deque) -> list:
         """Pop up to one batch's worth of operations off ``queue``."""
-        return [queue.popleft()
-                for _ in range(min(self.batch_size, len(queue)))]
+        if self.max_batch_bytes is None:
+            return [queue.popleft()
+                    for _ in range(min(self.batch_size, len(queue)))]
+        batch: list = []
+        budget = self.max_batch_bytes
+        while queue and len(batch) < self.batch_size:
+            cost = self.op_cost(queue[0])
+            if batch and cost > budget:
+                break
+            batch.append(queue.popleft())
+            budget -= cost
+        return batch
 
     def put_groups(self, ops: Sequence[_WriteOp]
                    ) -> dict[NodeId, list[tuple[ObjectId, Any, int]]]:
@@ -130,7 +160,9 @@ class WritePlanner:
         groups: dict[NodeId, list[tuple[ObjectId, Any, int]]] = {}
         for op in ops:
             spec = op.spec
-            entry = (op.element.oid, spec.value, spec.size)
+            # Ship the body as a Blob: the multi-put's wire cost then
+            # includes each object's declared size.
+            entry = (op.element.oid, Blob(spec.value, spec.size), spec.size)
             for dest in op.element.locations:
                 groups.setdefault(dest, []).append(entry)
         return groups
@@ -147,13 +179,15 @@ class WritePipeline:
     """
 
     def __init__(self, repo: "Repository", coll_id: str, *,
-                 window: int = 4, batch_size: int = 8, name: str = ""):
+                 window: int = 4, batch_size: int = 8,
+                 max_batch_bytes: Optional[int] = None, name: str = ""):
         self.repo = repo
         self.world = repo.world
         self.coll_id = coll_id
         self.window = max(1, window)
-        self.planner = WritePlanner(batch_size)
+        self.planner = WritePlanner(batch_size, max_batch_bytes)
         self.batch_size = self.planner.batch_size
+        self.max_batch_bytes = self.planner.max_batch_bytes
         self.name = name or f"write-{repo.client}"
         # -- work state ------------------------------------------------
         self._ops: list[_WriteOp] = []           # submission order
@@ -236,7 +270,8 @@ class WritePipeline:
         home = spec.home if spec.home is not None \
             else self.repo.owner_of(self.coll_id, spec.name)
         replicas = tuple(r for r in spec.replicas if r != home)
-        oid = spec.oid if spec.oid is not None else fresh_oid(spec.name)
+        oid = spec.oid if spec.oid is not None \
+            else self.repo.world.fresh_oid(spec.name)
         element = Element(name=spec.name, oid=oid, home=home, replicas=replicas)
         op = _WriteOp(index=len(self._ops), kind="add", element=element,
                       spec=AddSpec(spec.name, spec.value, home, spec.size,

@@ -48,13 +48,18 @@ def build_mirror(seed: int = 0, *, n_sites: int = 4, site_size: int = 2,
                  fault_plan: Optional[FaultPlan] = None) -> MirrorWorkload:
     """Build the mirror network and its package tree."""
     kernel = Kernel(seed=seed)
+    # 500 kB/s on every link: the old World(bandwidth=...) transfer
+    # charge, now modeled where it belongs — on the wire.
     topo = wan_clusters([site_size] * n_sites,
                         intra_latency=FixedLatency(0.003),
-                        inter_latency=FixedLatency(0.070))
+                        inter_latency=FixedLatency(0.070),
+                        intra_bandwidth=500_000.0,
+                        inter_bandwidth=500_000.0)
     topo.add_node("client")
-    topo.add_link("client", "n0.0", FixedLatency(0.003))
+    topo.add_link("client", "n0.0", FixedLatency(0.003),
+                  bandwidth=500_000.0)
     net = Network(kernel, topo)
-    world = World(net, bandwidth=500_000.0)
+    world = World(net)
     fs = FileSystem(world, root_node="n0.0")
     stream = kernel.stream("mirror.seed")
 

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Generator, Optional, Sequence
 
 from ..errors import FailureException, SimulationError, StoreError
+from ..net.wire import BANDWIDTH_PRESETS, apply_bandwidth_preset
 from ..sim.events import Sleep
 from ..sim.rng import Stream
 from ..spec import check_conformance, spec_by_id
@@ -101,6 +102,11 @@ class PopulationSpec:
     audit_figure: str = "fig6"              # spec the audit trace is checked against
     drain_grace: float = 10.0               # extra virtual seconds for
                                             # in-flight sessions to finish
+    bandwidth_preset: Optional[str] = None  # retro-fit the scenario's links
+                                            # with a named bandwidth preset
+                                            # ("lan" | "wan" | "mobile") so
+                                            # population runs can load a
+                                            # constrained wire
 
     def __post_init__(self) -> None:
         if not self.behaviors:
@@ -115,6 +121,11 @@ class PopulationSpec:
                 "known: lognormal, pareto, exponential")
         if self.pareto_alpha <= 1.0:
             raise SimulationError("pareto_alpha must exceed 1 (finite mean)")
+        if (self.bandwidth_preset is not None
+                and self.bandwidth_preset not in BANDWIDTH_PRESETS):
+            raise SimulationError(
+                f"unknown bandwidth preset {self.bandwidth_preset!r}; "
+                f"known: {sorted(BANDWIDTH_PRESETS)}")
 
     @property
     def total_duration(self) -> float:
@@ -216,6 +227,10 @@ class PopulationEngine:
         self.scenario = scenario
         self.spec = spec
         self.kernel = scenario.kernel
+        if spec.bandwidth_preset is not None:
+            apply_bandwidth_preset(scenario.net.topology,
+                                   spec.bandwidth_preset,
+                                   access_nodes=(scenario.client,))
         self.stream = self.kernel.stream("population.arrivals")
         self.stage_results: list[StageResult] = [
             StageResult(index=i, name=s.name or f"stage-{i}",

@@ -21,6 +21,7 @@ from ..net.executor import ExecutorPolicy
 from ..net.failures import FaultInjector, FaultPlan
 from ..net.link import FixedLatency, ParetoLatency
 from ..net.topology import wan_clusters
+from ..net.wire import BANDWIDTH_PRESETS, WireFormat, codec_by_name
 from ..sim.events import Sleep
 from ..sim.kernel import Kernel
 from ..store.offline import CONNECTED, OfflineClient
@@ -72,6 +73,15 @@ class ScenarioSpec:
     executor: Optional[ExecutorPolicy] = None   # server admission control
                                                 # (None = unbounded seed
                                                 # concurrency)
+    # -- the wire (E25) --------------------------------------------------
+    codec: str = "compact"                  # wire codec: "compact" | "naive"
+    bandwidth_preset: Optional[str] = None  # "lan" | "wan" | "mobile";
+                                            # fills the three bandwidth
+                                            # dials below where they are 0
+    intra_bandwidth: float = 0.0            # bytes/s inside a cluster
+    inter_bandwidth: float = 0.0            # bytes/s between cluster heads
+    access_bandwidth: float = 0.0           # bytes/s on the client's link
+    serialize_rate: float = 0.0             # sender-CPU bytes/s (0 = free)
     # -- sharded membership (E24) --------------------------------------
     shards: int = 0                         # 0 = classic single-primary
                                             # registry; N>0 partitions the
@@ -84,6 +94,22 @@ class ScenarioSpec:
     @property
     def client(self) -> NodeId:
         return "client"
+
+    def bandwidths(self) -> tuple[float, float, float, float]:
+        """Resolved (intra, inter, access, serialize_rate) in bytes/s.
+
+        The named preset fills any dial left at 0; explicit non-zero
+        dials win over the preset.
+        """
+        intra, inter = self.intra_bandwidth, self.inter_bandwidth
+        access, srate = self.access_bandwidth, self.serialize_rate
+        if self.bandwidth_preset is not None:
+            preset = BANDWIDTH_PRESETS[self.bandwidth_preset]
+            intra = intra or preset.intra
+            inter = inter or preset.inter
+            access = access or preset.access
+            srate = srate or preset.serialize_rate
+        return intra, inter, access, srate
 
     @property
     def primary(self) -> NodeId:
@@ -144,15 +170,21 @@ def build_scenario(spec: ScenarioSpec, seed: int = 0) -> Scenario:
     kernel = Kernel(seed=seed)
     inter = (ParetoLatency(spec.inter_latency) if spec.heavy_tail
              else FixedLatency(spec.inter_latency))
+    intra_bw, inter_bw, access_bw, serialize_rate = spec.bandwidths()
     topo = wan_clusters(
         [spec.cluster_size] * spec.n_clusters,
         intra_latency=FixedLatency(spec.intra_latency),
         inter_latency=inter,
+        intra_bandwidth=intra_bw,
+        inter_bandwidth=inter_bw,
     )
     topo.add_node(spec.client)
-    topo.add_link(spec.client, "n0.0", FixedLatency(spec.intra_latency))
+    topo.add_link(spec.client, "n0.0", FixedLatency(spec.intra_latency),
+                  bandwidth=access_bw)
+    wire = WireFormat(codec=codec_by_name(spec.codec),
+                      serialize_rate=serialize_rate)
     net = Network(kernel, topo, fail_fast=spec.fail_fast,
-                  default_timeout=spec.rpc_timeout)
+                  default_timeout=spec.rpc_timeout, wire=wire)
     world = World(net, service_time=spec.service_time,
                   replica_lag=spec.replica_lag,
                   recovery_enabled=spec.recovery_enabled,

@@ -92,7 +92,9 @@ class ElementsIterator:
 
     def __init__(self, repo: Repository, coll_id: str,
                  recorder: Optional[TraceRecorder] = None,
-                 fetch_window: int = 8, fetch_batch: int = 4):
+                 fetch_window: int = 8, fetch_batch: int = 4,
+                 fetch_max_bytes: Optional[int] = None,
+                 fetch_size_hint=None):
         self.repo = repo
         self.coll_id = coll_id
         self.client: NodeId = repo.client
@@ -105,6 +107,11 @@ class ElementsIterator:
         # batch=1 reproduces the old serial path exactly).
         self.fetch_window = fetch_window
         self.fetch_batch = fetch_batch
+        # Byte-aware coalescing dials, passed through to the pipeline:
+        # cap each multi-get's estimated reply bytes (needs a size hint
+        # — a constant or a per-element callable — to be effective).
+        self.fetch_max_bytes = fetch_max_bytes
+        self.fetch_size_hint = fetch_size_hint
         self.pipeline: Optional[FetchPipeline] = None
 
     # ------------------------------------------------------------------
@@ -216,6 +223,8 @@ class ElementsIterator:
             self.pipeline = FetchPipeline(
                 self.repo, use_cache=use_cache,
                 window=self.fetch_window, batch_size=self.fetch_batch,
+                max_batch_bytes=self.fetch_max_bytes,
+                size_hint=self.fetch_size_hint,
                 failover=self.pipeline_failover,
                 validation=self.pipeline_validation,
                 name=f"{self.impl_name}-{self.coll_id}")

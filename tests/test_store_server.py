@@ -8,6 +8,7 @@ from repro.errors import (
     NoSuchObjectError,
     SimulationError,
 )
+from repro.net.wire import unwrap
 from repro.store import Repository
 
 from helpers import CLIENT, PRIMARY, standard_world
@@ -25,7 +26,7 @@ def test_put_object_update_bumps_version():
 
     v1, v2, value = kernel.run_process(proc())
     assert (v1, v2) == (1, 2)
-    assert value == "second"
+    assert unwrap(value) == "second"   # reads ship as wire Blobs
 
 
 def test_put_after_delete_recreates():
@@ -44,7 +45,7 @@ def test_put_after_delete_recreates():
     redeleted, v, value = kernel.run_process(proc())
     assert redeleted is False          # deleting twice is a no-op
     assert v == 3                      # resumes past the tombstone's version
-    assert value == "reborn"
+    assert unwrap(value) == "reborn"
 
 
 def test_get_missing_object_raises():
